@@ -1,0 +1,18 @@
+"""Benchmark for the section 4.7 block-size experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import run_block_size_experiment
+
+from conftest import run_once
+
+
+def test_block_size_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_block_size_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {
+            "speedup_blocklen_1_to_32": round(result.data["improvement"], 3),
+            "times_by_blocklen": {k: round(v, 8) for k, v in result.data["times"].items()},
+        }
+    )

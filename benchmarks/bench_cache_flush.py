@@ -1,0 +1,15 @@
+"""Benchmark for the section 4.6 cache-flush ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import run_cache_flush_experiment
+
+from conftest import run_once
+
+
+def test_cache_flush_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_cache_flush_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {"warm_speedups_by_size": result.data["speedups"], "llc_bytes": result.data["llc"]}
+    )

@@ -1,0 +1,19 @@
+"""Benchmark for the section 4.5 eager-limit experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import run_eager_limit_experiment
+
+from conftest import run_once
+
+
+def test_eager_limit_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_eager_limit_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {
+            "eager_limit_bytes": result.data["limit"],
+            "per_byte_drop_ratio": round(result.data["drop_ratio"], 3),
+            "large_msg_change_with_unlimited_eager": f"{result.data['large_message_change']:.2%}",
+        }
+    )

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the simulator's own hot paths (real wall time).
+
+Unlike the figure benches — which measure *virtual* time — these track
+the wall-clock performance of the pack engine and the event kernel, so
+regressions in the simulation infrastructure itself are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi import DOUBLE, make_indexed_block, make_vector, run_mpi
+from repro.mpi.datatypes import pack_bytes, unpack_bytes
+
+N = 1 << 20  # one million doubles of payload
+
+
+def test_strided_gather_throughput(benchmark):
+    """Vectorized stride-2 gather of 8 MB of payload."""
+    vec = make_vector(N, 1, 2, DOUBLE).commit()
+    src = np.arange(2 * N, dtype=np.float64)
+    dst = np.zeros(N, dtype=np.float64)
+
+    nbytes = benchmark(lambda: pack_bytes(src, vec, 1, dst))
+    assert nbytes == N * 8
+    assert dst[1] == 2.0
+    benchmark.extra_info["payload_MB"] = N * 8 / 1e6
+
+
+def test_strided_scatter_throughput(benchmark):
+    vec = make_vector(N, 1, 2, DOUBLE).commit()
+    packed = np.arange(N, dtype=np.float64)
+    dst = np.zeros(2 * N, dtype=np.float64)
+
+    nbytes = benchmark(lambda: unpack_bytes(packed, 0, dst, vec, 1))
+    assert nbytes == N * 8
+    benchmark.extra_info["payload_MB"] = N * 8 / 1e6
+
+
+def test_irregular_gather_throughput(benchmark):
+    """Fancy-indexing gather over 100k irregular single-double blocks."""
+    nblocks = 100_000
+    rng = np.random.default_rng(0)
+    disps = np.sort(rng.choice(4 * nblocks, size=nblocks, replace=False))
+    idx = make_indexed_block(1, disps, DOUBLE).commit()
+    src = np.arange(4 * nblocks, dtype=np.float64)
+    dst = np.zeros(nblocks, dtype=np.float64)
+
+    benchmark(lambda: pack_bytes(src, idx, 1, dst))
+    assert dst[0] == float(disps[0])
+    benchmark.extra_info["blocks"] = nblocks
+
+
+def test_kernel_pingpong_event_rate(benchmark):
+    """Wall time of 200 simulated eager ping-pongs (kernel hot path)."""
+
+    def job():
+        def main(comm):
+            buf = np.zeros(16, dtype=np.float64)
+            pong = np.empty(0, dtype=np.uint8)
+            for i in range(200):
+                if comm.rank == 0:
+                    comm.Send(buf, dest=1, tag=i)
+                    comm.Recv(pong, source=1, tag=i, count=0)
+                else:
+                    comm.Recv(buf, source=0, tag=i)
+                    comm.Send(pong, dest=0, tag=i, count=0)
+            return comm.Wtime()
+
+        return run_mpi(main, 2, "ideal")
+
+    result = benchmark.pedantic(job, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["kernel_events"] = result.events

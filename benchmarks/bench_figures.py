@@ -1,0 +1,46 @@
+"""Benchmarks for the paper's four figures (one per platform).
+
+Each benchmark regenerates the full figure sweep — 8 schemes across the
+10^3..10^9-byte axis — on its platform, verifies the claim checks, and
+records the headline reproduced numbers in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import check_platform_claims
+from repro.analysis.metrics import asymptotic_slowdown, peak_bandwidth
+from repro.core import run_sweep
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "fig_id,platform",
+    [
+        ("fig1", "skx-impi"),
+        ("fig2", "skx-mvapich2"),
+        ("fig3", "ls5-cray"),
+        ("fig4", "knl-impi"),
+    ],
+)
+def test_figure_sweep(benchmark, bench_config, fig_id, platform):
+    result = run_once(benchmark, lambda: run_sweep(platform, bench_config))
+    checks = check_platform_claims(result, platform)
+    failed = [str(c) for c in checks if not c.passed]
+    assert not failed, f"{fig_id} on {platform}:\n" + "\n".join(failed)
+    assert result.all_verified()
+    benchmark.extra_info.update(
+        {
+            "figure": fig_id,
+            "platform": platform,
+            "reference_peak_GBs": round(peak_bandwidth(result.series("reference")) / 1e9, 2),
+            "copying_slowdown": round(asymptotic_slowdown(result, "copying"), 2),
+            "vector_slowdown": round(asymptotic_slowdown(result, "vector"), 2),
+            "packing_v_slowdown": round(asymptotic_slowdown(result, "packing-vector"), 2),
+            "packing_e_slowdown": round(asymptotic_slowdown(result, "packing-element"), 2),
+            "onesided_slowdown": round(asymptotic_slowdown(result, "onesided"), 2),
+            "claims_passed": f"{len(checks) - len(failed)}/{len(checks)}",
+        }
+    )

@@ -1,0 +1,18 @@
+"""Benchmark for the section 4.7 irregular-spacing experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import run_irregular_spacing_experiment
+
+from conftest import run_once
+
+
+def test_irregular_spacing_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_irregular_spacing_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {
+            "degradation_full_jitter": round(result.data["degradation"], 3),
+            "times_by_jitter": {k: round(v, 8) for k, v in result.data["times"].items()},
+        }
+    )

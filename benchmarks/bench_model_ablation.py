@@ -1,0 +1,27 @@
+"""Benchmarks for the model-level ablations DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_slowdown_prediction_experiment,
+    run_threshold_ablation_experiment,
+)
+
+from conftest import run_once
+
+
+def test_copying_slowdown_prediction(benchmark):
+    result = run_once(benchmark, lambda: run_slowdown_prediction_experiment())
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {
+            name: f"measured {vals['measured']:.2f} vs model {vals['predicted']:.2f}"
+            for name, vals in result.data.items()
+        }
+    )
+
+
+def test_staging_threshold_ablation(benchmark):
+    result = run_once(benchmark, lambda: run_threshold_ablation_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update({"onset_by_threshold": result.data["onsets"]})

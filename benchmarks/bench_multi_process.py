@@ -1,0 +1,13 @@
+"""Benchmark for the section 4.7 all-processes-per-node experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import run_multi_process_experiment
+
+from conftest import run_once
+
+
+def test_multi_process_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_multi_process_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update({"times_by_pairs": result.data["times"]})

@@ -1,0 +1,21 @@
+"""Benchmark for the section 3.2 outlier-dismissal ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import run_noise_experiment
+
+from conftest import run_once
+
+
+def test_noise_experiment(benchmark):
+    result = run_once(benchmark, lambda: run_noise_experiment("skx-impi"))
+    assert result.passed, result.render()
+    benchmark.extra_info.update(
+        {
+            "dismissed_clean": result.data["clean_dismissed"],
+            "dismissed_realistic": result.data["jitter_dismissed"],
+            "dismissed_spiky": result.data["spiky_dismissed"],
+            "spiky_raw_error": f"{result.data['raw_error']:.1%}",
+            "spiky_filtered_error": f"{result.data['filtered_error']:.1%}",
+        }
+    )

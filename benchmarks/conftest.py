@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each paper artifact gets one benchmark that executes its full sweep
+once per round (the simulation is deterministic, so repeated rounds
+only measure harness wall-time stability).  Reproduced metrics are
+attached to ``benchmark.extra_info`` so the benchmark report doubles as
+a paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SweepConfig, TimingPolicy, default_message_sizes
+
+#: The full paper x-axis at one point per decade — enough to place the
+#: eager drop, the crossovers, and the large-message degradation.
+BENCH_SIZES = tuple(default_message_sizes(1_000, 1_000_000_000, per_decade=1))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SweepConfig:
+    return SweepConfig(
+        sizes=BENCH_SIZES,
+        policy=TimingPolicy(iterations=5),
+        materialize_limit=1 << 16,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once per benchmark round (deterministic workloads)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Model your own machine and predict which send scheme wins on it.
+
+The paper's conclusion (use packing of a derived type; plain derived
+types are fine below ~1e8 bytes) is platform-conditional.  This example
+builds a custom platform — say, a fat-node cluster with a slow fabric
+but fast memory — registers it, and reruns the paper's sweep to see how
+the recommendations shift.
+"""
+
+from repro.analysis import render_table
+from repro.core import SweepConfig, TimingPolicy, default_message_sizes, run_sweep
+from repro.machine import build_custom_platform, get_platform, register_platform
+
+
+def main() -> None:
+    # A machine where memory is much faster than the network: gathers
+    # are nearly free relative to the wire, so every scheme converges.
+    fat_node = build_custom_platform(
+        "fatnode-slowfabric",
+        network_bandwidth=2.0e9,     # 2 GB/s fabric (16 Gbit/s)
+        network_latency=3.0e-6,
+        dram_read_bandwidth=40e9,    # fast local memory
+        dram_write_bandwidth=30e9,
+        eager_limit=32 * 1024,
+        description="fat memory node on a slow fabric",
+    )
+    register_platform(fat_node)
+
+    config = SweepConfig(
+        sizes=tuple(default_message_sizes(1_000, 100_000_000, per_decade=1)),
+        schemes=("reference", "copying", "vector", "packing-vector", "onesided"),
+        policy=TimingPolicy(iterations=10),
+    )
+
+    print(fat_node.describe())
+    print()
+    custom = run_sweep("fatnode-slowfabric", config)
+    print(render_table(custom, "slowdown"))
+    print()
+
+    skx = run_sweep("skx-impi", config)
+    print(get_platform("skx-impi").describe())
+    print()
+    print(render_table(skx, "slowdown"))
+
+    fat_copy = dict(custom.slowdowns("copying"))[customsize := custom.sizes()[-1]]
+    skx_copy = dict(skx.slowdowns("copying"))[skx.sizes()[-1]]
+    print(
+        f"\nAt {customsize:.0e} B the copying slowdown is {fat_copy:.2f}x on the "
+        f"fat node vs {skx_copy:.2f}x on skx-impi: when the wire is the\n"
+        f"bottleneck, non-contiguous handling is nearly free — the paper's "
+        f"factor-of-three is a property of balanced memory/network bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""FEM boundary exchange: irregularly spaced data (paper introduction).
+
+A finite-element solver partitions its mesh; each rank owns a slab of
+degrees of freedom, and the interface DOFs it must ship to a neighbour
+sit at *irregular* positions in its local vector.  This is the paper's
+motivating example for ``MPI_Type_indexed``.
+
+The example builds a small 2-rank halo exchange and compares three
+strategies: manual gather copy, direct indexed-datatype send, and
+MPI_Pack of the indexed type — the same trade-off the paper studies for
+regular strides, on the irregular layout of section 4.7.
+"""
+
+import numpy as np
+
+from repro.mpi import DOUBLE, make_indexed_block, run_mpi
+
+N_LOCAL = 40_000       # local DOFs per rank
+N_BOUNDARY = 2_500     # interface DOFs shipped to the neighbour
+SEED = 42
+
+
+def boundary_indices(rank: int) -> np.ndarray:
+    """Irregular interface DOF indices (sorted, unique) for a rank."""
+    rng = np.random.default_rng(SEED + rank)
+    return np.sort(rng.choice(N_LOCAL, size=N_BOUNDARY, replace=False))
+
+
+def exchange(strategy: str):
+    """Run one halo exchange between 2 ranks; returns per-rank Wtime."""
+
+    def main(comm):
+        me, other = comm.rank, 1 - comm.rank
+        local = np.arange(N_LOCAL, dtype=np.float64) + me * 1_000_000
+        idx = boundary_indices(me)
+        boundary_type = make_indexed_block(1, idx, DOUBLE).commit()
+        halo = np.zeros(N_BOUNDARY, dtype=np.float64)
+
+        recv_req = comm.Irecv(halo, source=other, tag=1)
+        if strategy == "copying":
+            sendbuf = np.empty(N_BOUNDARY, dtype=np.float64)
+            comm.user_gather(local, boundary_type, 1, sendbuf)
+            comm.Send(sendbuf, dest=other, tag=1)
+        elif strategy == "datatype":
+            comm.Send(local, dest=other, tag=1, count=1, datatype=boundary_type)
+        elif strategy == "packing":
+            sendbuf = np.empty(N_BOUNDARY, dtype=np.float64)
+            comm.Pack(local, 1, boundary_type, sendbuf, 0)
+            comm.Send(sendbuf, dest=other, tag=1)
+        else:
+            raise ValueError(strategy)
+        recv_req.wait()
+
+        # Every rank checks it got the neighbour's boundary values.
+        expected = boundary_indices(other).astype(np.float64) + other * 1_000_000
+        assert np.array_equal(halo, expected), "halo exchange corrupted data"
+        boundary_type.free()
+        return comm.Wtime()
+
+    job = run_mpi(main, nranks=2, platform="skx-impi")
+    return max(job.finish_times)
+
+
+def main() -> None:
+    print(f"FEM halo exchange: {N_BOUNDARY} irregular DOFs out of {N_LOCAL} "
+          f"({N_BOUNDARY * 8:,} bytes per direction)\n")
+    times = {s: exchange(s) for s in ("copying", "datatype", "packing")}
+    base = times["copying"]
+    for strategy, t in times.items():
+        print(f"  {strategy:10s}: {t * 1e6:8.1f} us  ({t / base:5.2f}x vs copying)")
+    print(
+        "\nAs in the paper, the indexed datatype rides the library's internal\n"
+        "staging (equivalent to the copy at this size), and packing the\n"
+        "indexed type matches the manual gather."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""2-D halo exchange on a process grid — subarray types in anger.
+
+A 2x2 process grid, each rank owning an ``N x N`` tile with a one-cell
+ghost rim.  Row-neighbour faces are contiguous; column-neighbour faces
+are strided subarrays — so one halo exchange contains both of the
+paper's regimes at once.  The example runs the exchange three ways
+(direct datatypes, manual copies, packing) and verifies the ghost cells
+afterwards; it also shows ``Comm.Split`` building the row/column
+sub-communicators.
+"""
+
+import numpy as np
+
+from repro.mpi import DOUBLE, make_subarray, run_mpi
+
+P = 2          # process grid is P x P
+N = 256        # interior cells per dimension per rank
+W = N + 2      # tile width including the ghost rim
+
+
+def tile_types():
+    """Send/recv subarray types for the four faces of a W x W tile."""
+    sub = lambda subsizes, starts: make_subarray([W, W], subsizes, starts, DOUBLE).commit()
+    return {
+        # interior faces we send ...
+        "send_north": sub([1, N], [1, 1]),
+        "send_south": sub([1, N], [N, 1]),
+        "send_west": sub([N, 1], [1, 1]),
+        "send_east": sub([N, 1], [1, N]),
+        # ... and ghost rims we receive into
+        "recv_north": sub([1, N], [0, 1]),
+        "recv_south": sub([1, N], [N + 1, 1]),
+        "recv_west": sub([N, 1], [1, 0]),
+        "recv_east": sub([N, 1], [1, N + 1]),
+    }
+
+
+def exchange(strategy: str):
+    def main(comm):
+        row, col = divmod(comm.rank, P)
+        tile = np.zeros((W, W), dtype=np.float64)
+        tile[1:-1, 1:-1] = comm.rank + 1  # interior stamped with rank+1
+        types = tile_types()
+
+        # Row and column communicators, just to show Split in action.
+        row_comm = comm.Split(color=row, key=col)
+        col_comm = comm.Split(color=col, key=row)
+
+        def neighbour(direction):
+            if direction == "north":
+                return (row - 1) * P + col if row > 0 else None
+            if direction == "south":
+                return (row + 1) * P + col if row < P - 1 else None
+            if direction == "west":
+                return row * P + (col - 1) if col > 0 else None
+            return row * P + (col + 1) if col < P - 1 else None
+
+        opposite = {"north": "south", "south": "north", "west": "east", "east": "west"}
+        flat = tile.reshape(-1)
+        for direction in ("north", "south", "west", "east"):
+            peer = neighbour(direction)
+            if peer is None:
+                continue
+            send_t = types[f"send_{direction}"]
+            recv_t = types[f"recv_{direction}"]
+            recv_req = comm.Irecv(flat, source=peer, tag=1, count=1, datatype=recv_t)
+            if strategy == "datatype":
+                comm.Send(flat, dest=peer, tag=1, count=1, datatype=send_t)
+            elif strategy == "copying":
+                face = np.empty(N, dtype=np.float64)
+                comm.user_gather(flat, send_t, 1, face)
+                comm.Send(face, dest=peer, tag=1)
+            else:  # packing
+                face = np.empty(N, dtype=np.float64)
+                comm.Pack(flat, 1, send_t, face, 0)
+                comm.Send(face, dest=peer, tag=1)
+            recv_req.wait()
+
+        # Verify every populated ghost rim carries the neighbour's stamp.
+        checks = {
+            "north": (tile[0, 1:-1], neighbour("north")),
+            "south": (tile[-1, 1:-1], neighbour("south")),
+            "west": (tile[1:-1, 0], neighbour("west")),
+            "east": (tile[1:-1, -1], neighbour("east")),
+        }
+        for direction, (rim, peer) in checks.items():
+            if peer is not None:
+                assert np.all(rim == peer + 1), (comm.rank, direction)
+        return (comm.Wtime(), row_comm.size, col_comm.size)
+
+    job = run_mpi(main, nranks=P * P, platform="skx-impi")
+    return max(t for t, _, _ in job.results)
+
+
+def main() -> None:
+    print(f"{P}x{P} process grid, {N}x{N} interior tiles "
+          f"({N * 8} B per face, both contiguous and strided faces):\n")
+    times = {s: exchange(s) for s in ("datatype", "copying", "packing")}
+    base = times["datatype"]
+    for strategy, t in times.items():
+        print(f"  {strategy:9s}: {t * 1e6:8.1f} us  ({t / base:5.2f}x vs datatype)")
+    print(
+        "\nRow faces ride the contiguous path; column faces pay the strided\n"
+        "gather — the same trade-offs as the paper's ping-pong, inside one\n"
+        "realistic application exchange."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Analysis: metrics, tables, ASCII charts, claim checks, reports."""
+
+from .ascii import AsciiChart, plot_series
+from .claims import ClaimCheck, check_cross_platform_claims, check_platform_claims
+from .compare import SweepComparison, compare_sweeps
+from .crossover import EagerDrop, degradation_onset, detect_eager_drop, ranking_at
+from .figures import FIGURES, FigureBundle, FigureSpec, generate_figure
+from .metrics import (
+    asymptotic_slowdown,
+    bandwidth_series,
+    peak_bandwidth,
+    size_at_half_peak,
+    slowdown_series,
+)
+from .report import Report, build_report
+from .tables import render_table
+from .timeline import event_label, render_timeline
+
+__all__ = [
+    "AsciiChart",
+    "plot_series",
+    "ClaimCheck",
+    "check_platform_claims",
+    "check_cross_platform_claims",
+    "EagerDrop",
+    "detect_eager_drop",
+    "degradation_onset",
+    "ranking_at",
+    "FIGURES",
+    "FigureSpec",
+    "FigureBundle",
+    "generate_figure",
+    "bandwidth_series",
+    "slowdown_series",
+    "peak_bandwidth",
+    "size_at_half_peak",
+    "asymptotic_slowdown",
+    "Report",
+    "build_report",
+    "render_table",
+    "render_timeline",
+    "event_label",
+    "SweepComparison",
+    "compare_sweeps",
+]

@@ -1,0 +1,109 @@
+"""Log-log ASCII charts — terminal renderings of the paper's panels.
+
+No plotting stack is assumed; the CLI and EXPERIMENTS.md embed these.
+Each series gets a single marker character; collisions show the later
+series (legend order matches the paper's figures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["AsciiChart", "plot_series"]
+
+_MARKERS = "rcbvsope*#@%"
+
+
+@dataclass
+class AsciiChart:
+    """A character-grid chart with log or linear axes."""
+
+    width: int = 64
+    height: int = 18
+    logx: bool = True
+    logy: bool = True
+    title: str = ""
+    _series: list[tuple[str, str, list[tuple[float, float]]]] = field(default_factory=list)
+
+    def add_series(self, name: str, points: list[tuple[float, float]], marker: str | None = None) -> None:
+        """Add a named series of (x, y) points."""
+        if marker is None:
+            marker = _MARKERS[len(self._series) % len(_MARKERS)]
+        cleaned = [(x, y) for x, y in points if x > 0 and y > 0] if (self.logx or self.logy) else list(points)
+        self._series.append((name, marker, cleaned))
+
+    # ------------------------------------------------------------------
+    def _axis(self, vals: list[float], log: bool) -> tuple[float, float]:
+        lo, hi = min(vals), max(vals)
+        if log:
+            lo, hi = math.log10(lo), math.log10(hi)
+        if hi == lo:
+            hi = lo + 1.0
+        return lo, hi
+
+    def render(self) -> str:
+        """The chart as a multi-line string."""
+        points = [(x, y) for _, _, pts in self._series for x, y in pts]
+        if not points:
+            return f"{self.title}\n(no data)"
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_lo, x_hi = self._axis(xs, self.logx)
+        y_lo, y_hi = self._axis(ys, self.logy)
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def to_cell(x: float, y: float) -> tuple[int, int]:
+            fx = math.log10(x) if self.logx else x
+            fx = (fx - x_lo) / (x_hi - x_lo)
+            fy = math.log10(y) if self.logy else y
+            fy = (fy - y_lo) / (y_hi - y_lo)
+            col = min(self.width - 1, max(0, int(round(fx * (self.width - 1)))))
+            row = min(self.height - 1, max(0, int(round((1.0 - fy) * (self.height - 1)))))
+            return row, col
+
+        for _name, marker, pts in self._series:
+            for x, y in pts:
+                row, col = to_cell(x, y)
+                grid[row][col] = marker
+
+        def fmt(v: float, log: bool) -> str:
+            return f"1e{v:+.0f}" if log else f"{v:.3g}"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        top = fmt(y_hi, self.logy)
+        bottom = fmt(y_lo, self.logy)
+        label_w = max(len(top), len(bottom))
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = top.rjust(label_w)
+            elif i == self.height - 1:
+                label = bottom.rjust(label_w)
+            else:
+                label = " " * label_w
+            lines.append(f"{label} |{''.join(row)}|")
+        x_left = fmt(x_lo, self.logx)
+        x_right = fmt(x_hi, self.logx)
+        lines.append(" " * label_w + " +" + "-" * self.width + "+")
+        pad = self.width - len(x_left) - len(x_right)
+        lines.append(" " * (label_w + 2) + x_left + " " * max(1, pad) + x_right)
+        legend = "  ".join(f"{marker}={name}" for name, marker, _ in self._series)
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+
+def plot_series(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    logy: bool = True,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Convenience wrapper: one chart from a name -> points mapping."""
+    chart = AsciiChart(width=width, height=height, logy=logy, title=title)
+    for name, points in series.items():
+        chart.add_series(name, points)
+    return chart.render()

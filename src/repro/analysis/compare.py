@@ -1,0 +1,99 @@
+"""Sweep comparison: A-vs-B ratio tables.
+
+Used to answer "what changed?" between two runs of the same grid — a
+tuning ablation, a flush-on/flush-off pair, two platforms, or a saved
+baseline versus a fresh run (``python -m repro compare a.json b.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.results import SweepResult
+from .tables import format_size_header
+
+__all__ = ["SweepComparison", "compare_sweeps"]
+
+
+@dataclass
+class SweepComparison:
+    """Per-cell time ratios (B / A) for the sizes and schemes both have."""
+
+    label_a: str
+    label_b: str
+    #: scheme -> list of (size, time_a, time_b)
+    cells: dict[str, list[tuple[int, float, float]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def ratios(self, scheme: str) -> list[tuple[int, float]]:
+        """(size, time_b / time_a) for one scheme."""
+        return [
+            (size, b / a if a > 0 else float("inf"))
+            for size, a, b in self.cells.get(scheme, [])
+        ]
+
+    def worst_regression(self) -> tuple[str, int, float] | None:
+        """The (scheme, size, ratio) with the largest B/A ratio."""
+        worst = None
+        for scheme in self.cells:
+            for size, ratio in self.ratios(scheme):
+                if worst is None or ratio > worst[2]:
+                    worst = (scheme, size, ratio)
+        return worst
+
+    def max_abs_deviation(self) -> float:
+        """max |ratio - 1| across every common cell (0 = identical)."""
+        out = 0.0
+        for scheme in self.cells:
+            for _size, ratio in self.ratios(scheme):
+                out = max(out, abs(ratio - 1.0))
+        return out
+
+    def render(self) -> str:
+        """A schemes x sizes table of B/A time ratios."""
+        sizes = sorted({size for cells in self.cells.values() for size, _, _ in cells})
+        header = f"{'scheme':16s}" + "".join(f"{format_size_header(s):>9s}" for s in sizes)
+        lines = [
+            f"time ratio: {self.label_b} / {self.label_a}  (1.00 = identical, >1 = B slower)",
+            header,
+            "-" * len(header),
+        ]
+        for scheme, cells in self.cells.items():
+            by_size = {size: (a, b) for size, a, b in cells}
+            row = [f"{scheme:16s}"]
+            for size in sizes:
+                if size in by_size:
+                    a, b = by_size[size]
+                    row.append(f"{b / a:9.2f}" if a > 0 else f"{'inf':>9s}")
+                else:
+                    row.append(f"{'-':>9s}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def compare_sweeps(
+    a: SweepResult,
+    b: SweepResult,
+    *,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> SweepComparison:
+    """Align two sweeps on their common (scheme, size) cells."""
+    comparison = SweepComparison(
+        label_a=label_a or a.platform,
+        label_b=label_b or b.platform,
+    )
+    schemes = [s for s in a.schemes() if s in set(b.schemes())]
+    for scheme in schemes:
+        ser_a = a.series(scheme)
+        ser_b = b.series(scheme)
+        rows = []
+        for size, time_a in zip(ser_a.sizes, ser_a.times):
+            try:
+                time_b = ser_b.time_at(size)
+            except KeyError:
+                continue
+            rows.append((size, time_a, time_b))
+        if rows:
+            comparison.cells[scheme] = rows
+    return comparison

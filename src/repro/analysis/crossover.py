@@ -1,0 +1,104 @@
+"""Feature detectors over measured series: eager-limit drops,
+large-message degradation onsets, and scheme rankings.
+
+These turn the paper's qualitative observations ("a performance drop is
+visible at the eager limit", "a drop in performance for messages beyond
+a few tens of megabytes") into quantities tests can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.results import SchemeSeries, SweepResult
+
+__all__ = ["EagerDrop", "detect_eager_drop", "degradation_onset", "ranking_at"]
+
+
+@dataclass(frozen=True)
+class EagerDrop:
+    """Measured-vs-extrapolated cost across the eager limit."""
+
+    below_size: int
+    above_size: int
+    predicted_above: float
+    measured_above: float
+    below_per_byte: float
+
+    @property
+    def above_per_byte(self) -> float:
+        return self.measured_above / self.above_size
+
+    @property
+    def ratio(self) -> float:
+        """> 1 means the first size past the limit costs more than the
+        sub-limit trend predicts — the section 4.5 drop."""
+        return self.measured_above / self.predicted_above if self.predicted_above > 0 else 0.0
+
+
+def detect_eager_drop(series: SchemeSeries, eager_limit: int) -> EagerDrop | None:
+    """Compare the first measurement over the eager limit against a
+    linear extrapolation of the sub-limit trend.
+
+    With two or more sub-limit points the time-vs-size slope is taken
+    from the last two (capturing latency amortization); with one, a
+    proportional scaling is used.  Returns ``None`` when the series does
+    not straddle the limit.
+    """
+    below = [(s, t) for s, t in zip(series.sizes, series.times) if s <= eager_limit]
+    above = [(s, t) for s, t in zip(series.sizes, series.times) if s > eager_limit]
+    if not below or not above:
+        return None
+    a_size, a_time = above[0]
+    b_size, b_time = below[-1]
+    if len(below) >= 2:
+        (s0, t0), (s1, t1) = below[-2], below[-1]
+        slope = (t1 - t0) / (s1 - s0) if s1 != s0 else t1 / s1
+        predicted = t1 + slope * (a_size - s1)
+    else:
+        predicted = b_time * (a_size / b_size)
+    return EagerDrop(
+        below_size=b_size,
+        above_size=a_size,
+        predicted_above=max(predicted, 1e-30),
+        measured_above=a_time,
+        below_per_byte=b_time / b_size,
+    )
+
+
+def degradation_onset(
+    sweep: SweepResult,
+    scheme: str,
+    baseline: str = "copying",
+    *,
+    threshold: float = 1.25,
+) -> int | None:
+    """Smallest size where ``scheme`` is ``threshold`` x slower than
+    ``baseline`` *and stays that way* — the section 4.1 internal-buffer
+    penalty onset.  ``None`` if it never degrades."""
+    ser = sweep.series(scheme)
+    base = sweep.series(baseline)
+    onset = None
+    for size, time in zip(ser.sizes, ser.times):
+        try:
+            base_time = base.time_at(size)
+        except KeyError:
+            continue
+        if base_time > 0 and time / base_time >= threshold:
+            if onset is None:
+                onset = size
+        else:
+            onset = None
+    return onset
+
+
+def ranking_at(sweep: SweepResult, message_bytes: int) -> list[tuple[str, float]]:
+    """(scheme, time) sorted fastest-first at one message size."""
+    out = []
+    for key in sweep.schemes():
+        series = sweep.series(key)
+        try:
+            out.append((key, series.time_at(message_bytes)))
+        except KeyError:
+            continue
+    return sorted(out, key=lambda kv: kv[1])

@@ -1,0 +1,109 @@
+"""Figure regeneration: the paper's four figures from simulated sweeps.
+
+Each figure is the same three-panel layout on a different platform:
+ping-pong time, effective bandwidth, and slowdown versus the contiguous
+reference, as functions of message size (bytes, log axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.results import SweepResult
+from ..core.runner import ProgressFn, run_sweep
+from ..core.sweep import SweepConfig
+from .ascii import plot_series
+from .metrics import slowdown_series
+from .tables import render_table
+
+__all__ = ["FigureSpec", "FigureBundle", "FIGURES", "generate_figure"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Identity of one paper figure."""
+
+    fig_id: str
+    platform: str
+    caption: str
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig1": FigureSpec("fig1", "skx-impi",
+                       "Time and bandwidth on Stampede2-skx using Intel MPI"),
+    "fig2": FigureSpec("fig2", "skx-mvapich2",
+                       "Time and bandwidth on Stampede2-skx nodes using MVAPICH2"),
+    "fig3": FigureSpec("fig3", "ls5-cray",
+                       "Time and bandwidth on a Cray XC40 using the native MPI"),
+    "fig4": FigureSpec("fig4", "knl-impi",
+                       "Time and bandwidth on Stampede2-knl using Intel MPI"),
+}
+
+
+@dataclass
+class FigureBundle:
+    """A regenerated figure: the sweep plus its three panels."""
+
+    spec: FigureSpec
+    sweep: SweepResult
+
+    # ------------------------------------------------------------------
+    def time_panel(self) -> dict[str, list[tuple[float, float]]]:
+        """Scheme -> (size, time) series."""
+        out = {}
+        for key, series in self.sweep.all_series().items():
+            out[series.label] = list(zip(map(float, series.sizes), series.times))
+        return out
+
+    def bandwidth_panel(self) -> dict[str, list[tuple[float, float]]]:
+        """Scheme -> (size, GB/s) series."""
+        out = {}
+        for key, series in self.sweep.all_series().items():
+            out[series.label] = [
+                (float(s), bw / 1e9) for s, bw in zip(series.sizes, series.bandwidths())
+            ]
+        return out
+
+    def slowdown_panel(self) -> dict[str, list[tuple[float, float]]]:
+        """Scheme -> (size, slowdown) series (reference excluded)."""
+        out = {}
+        for key in self.sweep.schemes():
+            if key == "reference":
+                continue
+            sizes, slows = slowdown_series(self.sweep, key)
+            label = self.sweep.series(key).label
+            out[label] = list(zip(map(float, sizes), slows))
+        return out
+
+    # ------------------------------------------------------------------
+    def render(self, *, charts: bool = True, tables: bool = True) -> str:
+        """The whole figure as text: caption, three panels, tables."""
+        parts = [f"== {self.spec.fig_id}: {self.spec.caption} =="]
+        if charts:
+            parts.append(plot_series("Time (sec)", self.time_panel()))
+            parts.append(plot_series("bwidth (GB/s)", self.bandwidth_panel(), logy=False))
+            parts.append(plot_series("slowdown", self.slowdown_panel(), logy=False))
+        if tables:
+            parts.append("Time (seconds):")
+            parts.append(render_table(self.sweep, "time"))
+            parts.append("Effective bandwidth (GB/s):")
+            parts.append(render_table(self.sweep, "bandwidth"))
+            parts.append("Slowdown vs reference:")
+            parts.append(render_table(self.sweep, "slowdown"))
+        return "\n\n".join(parts)
+
+
+def generate_figure(
+    fig_id: str,
+    config: SweepConfig | None = None,
+    *,
+    progress: ProgressFn | None = None,
+) -> FigureBundle:
+    """Run the sweep behind one paper figure and bundle its panels."""
+    try:
+        spec = FIGURES[fig_id]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {fig_id!r}; known figures: {known}") from None
+    sweep = run_sweep(spec.platform, config, progress=progress)
+    return FigureBundle(spec=spec, sweep=sweep)

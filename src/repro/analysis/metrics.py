@@ -1,0 +1,64 @@
+"""Derived metrics over sweep results: bandwidth, slowdown, peaks.
+
+The paper's three panels per figure are time, effective bandwidth, and
+slowdown versus the contiguous reference; this module computes the
+latter two from measured times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.results import SchemeSeries, SweepResult
+
+__all__ = [
+    "bandwidth_series",
+    "slowdown_series",
+    "peak_bandwidth",
+    "size_at_half_peak",
+    "asymptotic_slowdown",
+]
+
+
+def bandwidth_series(series: SchemeSeries) -> tuple[list[int], list[float]]:
+    """(sizes, effective bandwidth in bytes/s) for one scheme."""
+    return list(series.sizes), series.bandwidths()
+
+
+def slowdown_series(
+    sweep: SweepResult, scheme: str, reference: str = "reference"
+) -> tuple[list[int], list[float]]:
+    """(sizes, slowdown-vs-reference) for one scheme."""
+    pairs = sweep.slowdowns(scheme, reference)
+    return [s for s, _ in pairs], [v for _, v in pairs]
+
+
+def peak_bandwidth(series: SchemeSeries) -> float:
+    """Best effective bandwidth across the sweep, bytes/s."""
+    bws = series.bandwidths()
+    return max(bws) if bws else 0.0
+
+
+def size_at_half_peak(series: SchemeSeries) -> int | None:
+    """Smallest message size achieving half the scheme's peak bandwidth
+    (the classic n_1/2 latency/bandwidth crossover)."""
+    bws = series.bandwidths()
+    if not bws:
+        return None
+    half = 0.5 * max(bws)
+    for size, bw in zip(series.sizes, bws):
+        if bw >= half:
+            return size
+    return None
+
+
+def asymptotic_slowdown(
+    sweep: SweepResult, scheme: str, *, tail: int = 2, reference: str = "reference"
+) -> float:
+    """Mean slowdown over the ``tail`` largest common sizes — the
+    large-message regime the paper's section 5 statements are about."""
+    pairs = sweep.slowdowns(scheme, reference)
+    if not pairs:
+        raise ValueError(f"no common sizes between {scheme!r} and {reference!r}")
+    tail_vals = [v for _, v in pairs[-tail:]]
+    return float(np.mean(tail_vals))

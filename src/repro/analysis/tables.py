@@ -1,0 +1,55 @@
+"""Aligned text tables for sweep results."""
+
+from __future__ import annotations
+
+from ..core.results import SweepResult
+from ..machine.units import format_bytes
+
+__all__ = ["render_table", "format_size_header"]
+
+
+def format_size_header(size: int) -> str:
+    """Compact size label, e.g. ``1.0e+06``."""
+    return f"{size:.0e}"
+
+
+def _format_value(value: float, kind: str) -> str:
+    if kind == "time":
+        return f"{value:9.3g}"
+    if kind == "bandwidth":
+        return f"{value / 1e9:9.2f}"
+    if kind == "slowdown":
+        return f"{value:9.2f}"
+    raise ValueError(f"unknown table kind {kind!r}")
+
+
+def render_table(sweep: SweepResult, kind: str = "time", *, reference: str = "reference") -> str:
+    """A schemes x sizes table of ``kind`` in {time, bandwidth, slowdown}.
+
+    Times in seconds, bandwidths in GB/s, slowdowns as ratios versus
+    ``reference``.
+    """
+    sizes = sweep.sizes()
+    header = f"{'scheme':16s}" + "".join(f"{format_size_header(s):>10s}" for s in sizes)
+    lines = [header, "-" * len(header)]
+    for key in sweep.schemes():
+        series = sweep.series(key)
+        if kind == "slowdown":
+            values = dict(sweep.slowdowns(key, reference))
+        elif kind == "bandwidth":
+            values = dict(zip(series.sizes, series.bandwidths()))
+        elif kind == "time":
+            values = dict(zip(series.sizes, series.times))
+        else:
+            raise ValueError(f"unknown table kind {kind!r}")
+        cells = []
+        for size in sizes:
+            if size in values:
+                cells.append(" " + _format_value(values[size], kind))
+            else:
+                cells.append(f"{'-':>10s}")
+        lines.append(f"{series.label:16s}" + "".join(cells))
+    units = {"time": "seconds", "bandwidth": "GB/s", "slowdown": f"x vs {reference}"}[kind]
+    lines.append(f"({units}; message sizes in bytes: "
+                 f"{format_bytes(sizes[0])} .. {format_bytes(sizes[-1])})")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Protocol timeline rendering: a per-rank event log from a trace.
+
+Turns a :class:`~repro.sim.trace.Tracer` into a readable two-column (or
+n-column) timeline — the quickest way to see *why* a scheme costs what
+it does: where the staging happened, when the RTS/CTS flew, when the
+payload landed.
+
+::
+
+    time (us)  | rank 0                    | rank 1
+    -----------+---------------------------+--------------------------
+         0.000 | staging 8000B             |
+         4.100 | send.rts ->1 tag=1        |
+         ...
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import TraceEvent, Tracer
+
+__all__ = ["render_timeline", "event_label"]
+
+#: categories shown by default (protocol-level events)
+_DEFAULT_CATEGORIES = (
+    "send.eager",
+    "send.rts",
+    "send.cts",
+    "send.push",
+    "recv.complete",
+    "staging",
+    "pack",
+    "unpack",
+    "bsend",
+    "rma.put",
+    "rma.get",
+    "rma.acc",
+    "rma.drain",
+    "flush",
+)
+
+
+def event_label(event: TraceEvent) -> str:
+    """A compact one-line label for a trace event."""
+    c = event.category
+    f = event.fields
+    if c == "send.eager":
+        return f"eager ->{f['dest']} tag={f['tag']} {f['nbytes']}B"
+    if c == "send.rts":
+        return f"RTS ->{f['dest']} tag={f['tag']} {f['nbytes']}B"
+    if c == "send.cts":
+        return f"CTS granted (->{f['dest']})"
+    if c == "send.push":
+        return f"push {f['nbytes']}B ->{f['dest']}"
+    if c == "recv.complete":
+        proto = "eager" if f.get("eager") else "rndv"
+        return f"recv <-{f['source']} tag={f['tag']} {f['nbytes']}B ({proto})"
+    if c == "staging":
+        return f"staging {f['nbytes']}B ({f.get('datatype', '?')})"
+    if c in ("pack", "unpack"):
+        return f"{c} {f['nbytes']}B x{f['ncalls']} call(s)"
+    if c == "bsend":
+        return f"bsend ->{f['dest']} {f['nbytes']}B (reserved {f['reserved']})"
+    if c == "rma.put":
+        return f"Put ->{f['target']} {f['nbytes']}B"
+    if c == "rma.get":
+        return f"Get <-{f['target']} {f['nbytes']}B"
+    if c == "rma.acc":
+        return f"Accumulate ->{f['target']} {f['nbytes']}B"
+    if c == "rma.drain":
+        return f"fence drains {f['nops']} op(s)"
+    if c == "flush":
+        return f"cache flush {f['nbytes']}B"
+    body = " ".join(f"{k}={v}" for k, v in sorted(f.items()))
+    return f"{c} {body}".strip()
+
+
+def _event_rank(event: TraceEvent) -> int | None:
+    for key in ("rank", "src"):
+        if key in event.fields:
+            return int(event.fields[key])
+    return None
+
+
+def render_timeline(
+    tracer: Tracer,
+    *,
+    categories: tuple[str, ...] | None = None,
+    max_events: int = 200,
+    column_width: int = 34,
+) -> str:
+    """The trace as an n-column per-rank timeline (times in us)."""
+    wanted = set(categories if categories is not None else _DEFAULT_CATEGORIES)
+    events = [e for e in tracer if e.category in wanted]
+    truncated = len(events) > max_events
+    events = events[:max_events]
+    if not events:
+        return "(no protocol events traced)"
+    ranks = sorted({r for e in events if (r := _event_rank(e)) is not None})
+    columns = {rank: i for i, rank in enumerate(ranks)}
+    header = f"{'time (us)':>12} |" + "|".join(
+        f" {'rank ' + str(r):<{column_width - 1}}" for r in ranks
+    )
+    sep = "-" * 13 + "+" + "+".join("-" * column_width for _ in ranks)
+    lines = [header, sep]
+    for event in events:
+        cells = [" " * column_width] * len(ranks)
+        rank = _event_rank(event)
+        label = event_label(event)[: column_width - 1]
+        if rank is not None:
+            cells[columns[rank]] = f" {label:<{column_width - 1}}"
+        lines.append(f"{event.time * 1e6:>12.3f} |" + "|".join(cells))
+    if truncated:
+        lines.append(f"... ({len(tracer)} events total, first {max_events} shown)")
+    return "\n".join(lines)

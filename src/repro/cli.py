@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+platforms            list the calibrated platforms
+schemes              list the eight send schemes
+sweep                run a scheme x size sweep on one platform
+figure               regenerate one paper figure (fig1..fig4)
+experiment           run an in-text experiment or ablation by id
+claims               run the claim checks against a fresh sweep
+report               regenerate EXPERIMENTS.md (all figures + experiments)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.claims import check_platform_claims
+from .analysis.figures import FIGURES, generate_figure
+from .analysis.report import build_report
+from .analysis.tables import render_table
+from .core.schemes import PAPER_ORDER, SCHEME_CLASSES
+from .core.sweep import SweepConfig, default_message_sizes
+from .core.timing import TimingPolicy
+from .core.runner import run_sweep
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .machine.registry import get_platform, list_platforms
+
+__all__ = ["main", "build_parser"]
+
+
+def _progress(scheme: str, size: int, time: float) -> None:
+    print(f"  {scheme:16s} {size:>12,} B  ->  {time:.4g} s", flush=True)
+
+
+def _sweep_config(args: argparse.Namespace) -> SweepConfig:
+    if args.quick:
+        return SweepConfig.quick()
+    sizes = default_message_sizes(args.min_bytes, args.max_bytes, args.per_decade)
+    schemes = tuple(args.schemes) if args.schemes else PAPER_ORDER
+    return SweepConfig(
+        sizes=tuple(sizes),
+        schemes=schemes,
+        policy=TimingPolicy(iterations=args.iterations, flush=not args.no_flush),
+    )
+
+
+def cmd_platforms(args: argparse.Namespace) -> int:
+    for name in list_platforms():
+        print(get_platform(name).describe())
+        print()
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    for key in PAPER_ORDER:
+        cls = SCHEME_CLASSES[key]
+        doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
+        print(f"{key:18s} {cls.label:12s} {doc}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = _sweep_config(args)
+    result = run_sweep(args.platform, config, progress=_progress if args.verbose else None)
+    print(render_table(result, args.table))
+    if not result.all_verified():
+        print("WARNING: payload verification failed for some cells", file=sys.stderr)
+        return 1
+    if args.out:
+        result.save(args.out)
+        print(f"saved sweep to {args.out}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    config = _sweep_config(args)
+    bundle = generate_figure(args.figure, config, progress=_progress if args.verbose else None)
+    print(bundle.render(charts=not args.no_charts))
+    if args.out:
+        bundle.sweep.save(args.out)
+        print(f"saved sweep to {args.out}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, quick=args.quick)
+    print(result.render())
+    return 0 if result.passed is not False else 1
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    config = _sweep_config(args)
+    sweep = run_sweep(args.platform, config, progress=_progress if args.verbose else None)
+    checks = check_platform_claims(sweep)
+    for check in checks:
+        print(check)
+    failed = [c for c in checks if not c.passed]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} claims passed")
+    return 1 if failed else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_timeline
+    from .core.layout import strided_for_bytes
+    from .core.pingpong import run_pingpong as _rp
+    from .core.schemes import SchemeContext, make_scheme
+    from .machine.registry import get_platform as _gp
+    from .mpi.runtime import run_mpi as _rm
+
+    layout = strided_for_bytes(args.bytes)
+    ctx = SchemeContext(layout=layout, materialize=False)
+    sender = make_scheme(args.scheme)
+    receiver = make_scheme(args.scheme)
+
+    def main(comm):
+        if comm.rank == 0:
+            sender.setup_sender(comm, ctx)
+            comm.Barrier()
+            sender.iteration_sender(comm)
+            comm.Barrier()
+            sender.teardown_sender(comm, ctx)
+        else:
+            receiver.setup_receiver(comm, ctx)
+            comm.Barrier()
+            receiver.iteration_receiver(comm)
+            comm.Barrier()
+            receiver.teardown_receiver(comm, ctx)
+
+    job = _rm(main, 2, _gp(args.platform), trace=True)
+    print(f"one {args.scheme} ping-pong of {layout.message_bytes:,} B on {args.platform}:")
+    print()
+    print(render_timeline(job.tracer))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.compare import compare_sweeps
+    from .core.results import SweepResult
+
+    a = SweepResult.load(args.sweep_a)
+    b = SweepResult.load(args.sweep_b)
+    comparison = compare_sweeps(a, b, label_a=args.sweep_a, label_b=args.sweep_b)
+    print(comparison.render())
+    worst = comparison.worst_regression()
+    if worst:
+        scheme, size, ratio = worst
+        print(f"\nlargest ratio: {scheme} at {size:,} B -> {ratio:.2f}x")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .core.validate import validate_schemes
+
+    result = validate_schemes(args.bytes, args.platform)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    report = build_report(quick=args.quick, progress=_progress if args.verbose else None)
+    text = report.to_markdown()
+    out = Path(args.out)
+    out.write_text(text)
+    print(f"wrote {out} ({len(text.splitlines())} lines); "
+          f"overall: {'PASS' if report.all_passed else 'FAIL'}")
+    return 0 if report.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi",
+        description="Reproduction of 'Performance of MPI Sends of Non-Contiguous Data'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list calibrated platforms").set_defaults(fn=cmd_platforms)
+    sub.add_parser("schemes", help="list the eight send schemes").set_defaults(fn=cmd_schemes)
+
+    def add_sweep_options(p: argparse.ArgumentParser, with_platform: bool = True) -> None:
+        if with_platform:
+            p.add_argument("--platform", default="skx-impi", choices=list_platforms())
+        p.add_argument("--quick", action="store_true", help="small grid, few iterations")
+        p.add_argument("--min-bytes", type=int, default=1_000)
+        p.add_argument("--max-bytes", type=int, default=1_000_000_000)
+        p.add_argument("--per-decade", type=int, default=2)
+        p.add_argument("--iterations", type=int, default=20)
+        p.add_argument("--no-flush", action="store_true", help="skip inter-ping-pong cache flush")
+        p.add_argument("--schemes", nargs="*", choices=list(PAPER_ORDER), default=None)
+        p.add_argument("--verbose", "-v", action="store_true")
+
+    p = sub.add_parser("sweep", help="run a scheme x size sweep")
+    add_sweep_options(p)
+    p.add_argument("--table", choices=("time", "bandwidth", "slowdown"), default="slowdown")
+    p.add_argument("--out", help="save the sweep as JSON")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("figure", choices=sorted(FIGURES))
+    add_sweep_options(p, with_platform=False)
+    p.add_argument("--no-charts", action="store_true")
+    p.add_argument("--out", help="save the sweep as JSON")
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("experiment", help="run an in-text experiment / ablation")
+    p.add_argument("experiment", choices=list(EXPERIMENTS))
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("claims", help="check the paper's claims on one platform")
+    add_sweep_options(p)
+    p.set_defaults(fn=cmd_claims)
+
+    p = sub.add_parser("trace", help="print the protocol timeline of one ping-pong")
+    p.add_argument("scheme", choices=list(PAPER_ORDER))
+    p.add_argument("--platform", default="skx-impi", choices=list_platforms())
+    p.add_argument("--bytes", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("compare", help="compare two saved sweep JSON files")
+    p.add_argument("sweep_a")
+    p.add_argument("sweep_b")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("validate", help="cross-check payload delivery across all schemes")
+    p.add_argument("--platform", default="skx-impi", choices=list_platforms())
+    p.add_argument("--bytes", type=int, default=65_536)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--out", default="EXPERIMENTS.md")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""``repro.core`` — the paper's contribution: the benchmark suite.
+
+Eight send schemes over a two-rank ping-pong with the paper's exact
+measurement protocol, driven across message-size sweeps to regenerate
+each figure.
+"""
+
+from .layout import IrregularLayout, Layout, StridedLayout, strided_for_bytes
+from .pingpong import PingPongResult, run_pingpong
+from .results import Measurement, SchemeSeries, SweepResult
+from .runner import run_sweep
+from .schemes import (
+    ALL_SCHEME_KEYS,
+    PAPER_ORDER,
+    SCHEME_CLASSES,
+    SchemeContext,
+    SendScheme,
+    make_scheme,
+)
+from .sweep import SweepConfig, default_message_sizes
+from .timing import TimingPolicy, TimingStats, summarize
+from .validate import ValidationResult, validate_schemes
+
+__all__ = [
+    "Layout",
+    "StridedLayout",
+    "IrregularLayout",
+    "strided_for_bytes",
+    "PingPongResult",
+    "run_pingpong",
+    "Measurement",
+    "SchemeSeries",
+    "SweepResult",
+    "run_sweep",
+    "SendScheme",
+    "SchemeContext",
+    "make_scheme",
+    "SCHEME_CLASSES",
+    "PAPER_ORDER",
+    "ALL_SCHEME_KEYS",
+    "SweepConfig",
+    "default_message_sizes",
+    "TimingPolicy",
+    "TimingStats",
+    "summarize",
+    "ValidationResult",
+    "validate_schemes",
+]

@@ -1,0 +1,70 @@
+"""Sweep orchestration: run a full scheme x size grid on a platform."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..machine.platform import Platform
+from ..machine.registry import get_platform
+from .pingpong import run_pingpong
+from .results import Measurement, SweepResult
+from .sweep import SweepConfig
+
+__all__ = ["run_sweep"]
+
+ProgressFn = Callable[[str, int, float], None]
+
+
+def run_sweep(
+    platform: Platform | str,
+    config: SweepConfig | None = None,
+    *,
+    progress: ProgressFn | None = None,
+) -> SweepResult:
+    """Run every (scheme, size) cell of ``config`` on ``platform``.
+
+    ``progress(scheme, message_bytes, time)`` is invoked after each cell
+    (the CLI uses it for live output).
+    """
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    config = config or SweepConfig()
+    result = SweepResult(
+        platform=platform.name,
+        metadata={
+            "description": platform.description,
+            "figure": platform.figure,
+            "iterations": config.policy.iterations,
+            "flush": config.policy.flush,
+            "sizes": list(config.sizes),
+            "schemes": list(config.schemes),
+            "concurrent_streams": config.concurrent_streams,
+        },
+    )
+    for scheme_key in config.schemes:
+        for size in config.sizes:
+            layout = config.layout_for(size)
+            cell = run_pingpong(
+                scheme_key,
+                layout,
+                platform,
+                policy=config.policy,
+                materialize=config.materialize(size),
+                concurrent_streams=config.concurrent_streams,
+            )
+            result.add(
+                Measurement(
+                    scheme=cell.scheme,
+                    label=cell.label,
+                    message_bytes=cell.message_bytes,
+                    time=cell.time,
+                    min_time=cell.stats.minimum,
+                    max_time=cell.stats.maximum,
+                    std=cell.stats.std,
+                    dismissed=cell.stats.dismissed,
+                    verified=cell.verified,
+                )
+            )
+            if progress is not None:
+                progress(scheme_key, cell.message_bytes, cell.time)
+    return result

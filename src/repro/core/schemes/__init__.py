@@ -1,0 +1,87 @@
+"""The eight send schemes of the paper, plus the scheme registry.
+
+Scheme keys (stable identifiers) and their paper-legend labels:
+
+==================  ==============
+key                 figure legend
+==================  ==============
+reference           reference
+copying             copying
+buffered            buffered
+vector              vector type
+subarray            subarray
+onesided            onesided
+packing-element     packing(e)
+packing-vector      packing(v)
+==================  ==============
+"""
+
+from __future__ import annotations
+
+from .base import PING_TAG, PONG_TAG, SchemeContext, SendScheme
+from .buffered import BufferedScheme
+from .copying import CopyingScheme
+from .onesided import OneSidedScheme
+from .packing_element import PackingElementScheme
+from .packing_vector import PackingVectorScheme
+from .reference import ReferenceScheme
+from .subarray import SubarrayScheme
+from .vectortype import VectorTypeScheme
+
+__all__ = [
+    "SendScheme",
+    "SchemeContext",
+    "PING_TAG",
+    "PONG_TAG",
+    "ReferenceScheme",
+    "CopyingScheme",
+    "BufferedScheme",
+    "VectorTypeScheme",
+    "SubarrayScheme",
+    "OneSidedScheme",
+    "PackingElementScheme",
+    "PackingVectorScheme",
+    "SCHEME_CLASSES",
+    "ALL_SCHEME_KEYS",
+    "PAPER_ORDER",
+    "make_scheme",
+]
+
+SCHEME_CLASSES: dict[str, type[SendScheme]] = {
+    cls.key: cls
+    for cls in (
+        ReferenceScheme,
+        CopyingScheme,
+        BufferedScheme,
+        VectorTypeScheme,
+        SubarrayScheme,
+        OneSidedScheme,
+        PackingElementScheme,
+        PackingVectorScheme,
+    )
+}
+
+#: Legend order of the paper's figures.
+PAPER_ORDER: tuple[str, ...] = (
+    "reference",
+    "copying",
+    "buffered",
+    "vector",
+    "subarray",
+    "onesided",
+    "packing-element",
+    "packing-vector",
+)
+
+ALL_SCHEME_KEYS: tuple[str, ...] = PAPER_ORDER
+
+
+def make_scheme(key: str) -> SendScheme:
+    """Instantiate a scheme by key; raises ``KeyError`` with the known
+    keys on a miss."""
+    try:
+        cls = SCHEME_CLASSES[key]
+    except KeyError:
+        known = ", ".join(PAPER_ORDER)
+        raise KeyError(f"unknown scheme {key!r}; known schemes: {known}") from None
+    return cls()

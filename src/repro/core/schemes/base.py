@@ -1,0 +1,99 @@
+"""The common send-scheme interface.
+
+A scheme encapsulates everything that differs between the paper's eight
+ways of moving the same non-contiguous payload: buffer/type setup
+(outside the timing loop, as in the paper), the timed ping on the
+sender, the receive-and-pong on the receiver, and teardown/verification.
+
+The ping-pong driver (:mod:`repro.core.pingpong`) owns the loop, the
+timers, and the cache flushing; schemes own only the transfer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...mpi.buffers import SimBuffer
+from ...mpi.comm import Comm
+from ..layout import Layout
+
+__all__ = ["SchemeContext", "SendScheme", "PONG_TAG", "PING_TAG"]
+
+PING_TAG = 1
+PONG_TAG = 2
+
+
+@dataclass(frozen=True)
+class SchemeContext:
+    """Per-measurement configuration handed to a scheme."""
+
+    layout: Layout
+    #: Move real bytes (and verify them) or account costs only.
+    materialize: bool = True
+
+    @property
+    def message_bytes(self) -> int:
+        return self.layout.message_bytes
+
+
+class SendScheme:
+    """Base class; subclasses set ``key``/``label`` and the four hooks.
+
+    ``label`` matches the paper's figure legend; ``key`` is the stable
+    machine name used in results and the CLI.
+    """
+
+    key: str = "base"
+    label: str = "base"
+
+    def __init__(self) -> None:
+        self._pong = np.empty(0, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        """Allocate sender-side buffers/types (outside the timing loop)."""
+        raise NotImplementedError
+
+    def setup_receiver(self, comm: Comm, ctx: SchemeContext) -> None:
+        """Allocate the receiver's contiguous landing buffer."""
+        self.recv_buf = (
+            SimBuffer.alloc(ctx.message_bytes)
+            if ctx.materialize
+            else SimBuffer.virtual(ctx.message_bytes)
+        )
+
+    def iteration_sender(self, comm: Comm) -> None:
+        """One timed ping (the non-contiguous send) plus the pong wait."""
+        raise NotImplementedError
+
+    def iteration_receiver(self, comm: Comm) -> None:
+        """Receive the ping into a contiguous buffer, return the pong."""
+        comm.Recv(self.recv_buf, source=0, tag=PING_TAG)
+        comm.Send(self._pong, dest=0, tag=PONG_TAG, count=0)
+
+    def teardown_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        """Free types/buffers; default is nothing."""
+
+    def teardown_receiver(self, comm: Comm, ctx: SchemeContext) -> None:
+        """Default is nothing."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _recv_pong(self, comm: Comm) -> None:
+        comm.Recv(self._pong, source=1, tag=PONG_TAG, count=0)
+
+    def verify_receiver(self, ctx: SchemeContext) -> bool:
+        """Check the delivered payload against the layout's expectation
+        (materialized runs only; virtual runs vacuously pass)."""
+        if not ctx.materialize:
+            return True
+        got = self.recv_buf.view(np.float64)
+        return bool(np.array_equal(got, ctx.layout.expected_payload()))
+
+    def __repr__(self) -> str:
+        return f"<SendScheme {self.key}>"

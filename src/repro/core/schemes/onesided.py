@@ -1,0 +1,50 @@
+"""One-sided scheme (paper section 2.5).
+
+``MPI_Put`` of a single derived (vector) type into the receiver's
+window, bracketed by ``MPI_Win_fence`` active-target synchronization.
+The paper times the fences: the fence overhead dominates small
+messages, and the platform's one-sided bandwidth factor separates the
+installations at larger sizes (section 4.4).
+"""
+
+from __future__ import annotations
+
+from ...mpi.comm import Comm
+from .base import SchemeContext, SendScheme
+
+__all__ = ["OneSidedScheme"]
+
+
+class OneSidedScheme(SendScheme):
+    """MPI_Put of the vector type between MPI_Win_fence pairs."""
+
+    key = "onesided"
+    label = "onesided"
+
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        self.src = ctx.layout.make_source(ctx.materialize)
+        self.datatype = ctx.layout.make_datatype()
+        self.win = comm.Win_create(None)
+        self.win.Fence()  # open the first epoch (outside the timing loop)
+
+    def setup_receiver(self, comm: Comm, ctx: SchemeContext) -> None:
+        super().setup_receiver(comm, ctx)
+        self.win = comm.Win_create(self.recv_buf)
+        self.win.Fence()
+
+    def iteration_sender(self, comm: Comm) -> None:
+        # The timers surround the fences (paper section 3.2); there is
+        # no pong message in the one-sided scheme.
+        self.win.Put(self.src, 1, origin_count=1, origin_datatype=self.datatype)
+        self.win.Fence()
+
+    def iteration_receiver(self, comm: Comm) -> None:
+        self.win.Fence()
+
+    def teardown_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.win.free()
+        self.datatype.free()
+
+    def teardown_receiver(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.win.free()

@@ -1,0 +1,46 @@
+"""Element-wise packing scheme — packing(e) (paper section 2.6).
+
+One ``MPI_Pack`` call per element into a user-space buffer, then a
+contiguous send of the packed bytes.  Predictably terrible: the
+per-call overhead swamps everything ("performs predictably very
+badly", section 4.3).
+
+Simulation note: the per-element loop is executed through
+``pack_elements_bulk`` — semantically identical to the literal loop
+(one pack call per contiguous block), with per-call overheads charged
+N times, but vectorized so gigabyte messages remain simulable.  The
+loop/bulk equivalence is pinned by tests.
+"""
+
+from __future__ import annotations
+
+from ...mpi.buffers import SimBuffer
+from ...mpi.comm import Comm
+from ...mpi.datatypes.basic import PACKED
+from .base import PING_TAG, SchemeContext, SendScheme
+
+__all__ = ["PackingElementScheme"]
+
+
+class PackingElementScheme(SendScheme):
+    """One MPI_Pack call per element, then a contiguous send."""
+
+    key = "packing-element"
+    label = "packing(e)"
+
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        self.src = ctx.layout.make_source(ctx.materialize)
+        self.datatype = ctx.layout.make_datatype()
+        nbytes = comm.Pack_size(1, self.datatype)
+        self.pack_buf = (
+            SimBuffer.alloc(nbytes) if ctx.materialize else SimBuffer.virtual(nbytes)
+        )
+
+    def iteration_sender(self, comm: Comm) -> None:
+        nbytes = comm.pack_elements_bulk(self.src, 1, self.datatype, self.pack_buf, 0)
+        comm.Send(self.pack_buf, dest=1, tag=PING_TAG, count=nbytes, datatype=PACKED)
+        self._recv_pong(comm)
+
+    def teardown_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.datatype.free()

@@ -1,0 +1,36 @@
+"""Reference scheme (paper section 2.1): the contiguous send.
+
+Sends an already-contiguous buffer of the same byte count — the
+attainable performance of the hardware/software combination, against
+which every non-contiguous scheme's slowdown is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mpi.buffers import SimBuffer
+from ...mpi.comm import Comm
+from .base import PING_TAG, SchemeContext, SendScheme
+
+__all__ = ["ReferenceScheme"]
+
+
+class ReferenceScheme(SendScheme):
+    """Contiguous send of the same byte count — the attainable optimum."""
+
+    key = "reference"
+    label = "reference"
+
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        nbytes = ctx.message_bytes
+        if ctx.materialize:
+            self.send_buf = SimBuffer.alloc(nbytes)
+            self.send_buf.view(np.float64)[:] = ctx.layout.expected_payload()
+        else:
+            self.send_buf = SimBuffer.virtual(nbytes)
+
+    def iteration_sender(self, comm: Comm) -> None:
+        comm.Send(self.send_buf, dest=1, tag=PING_TAG)
+        self._recv_pong(comm)

@@ -1,0 +1,36 @@
+"""Subarray-datatype scheme (paper section 2.3, second derived type).
+
+The same strided layout expressed as ``MPI_Type_create_subarray`` — the
+first column block of an ``nblocks x stride`` matrix.  Behaviourally it
+should (and does) track the vector type.
+"""
+
+from __future__ import annotations
+
+from ...mpi.comm import Comm
+from ..layout import StridedLayout
+from .base import PING_TAG, SchemeContext, SendScheme
+
+__all__ = ["SubarrayScheme"]
+
+
+class SubarrayScheme(SendScheme):
+    """Direct send of one MPI_Type_create_subarray element."""
+
+    key = "subarray"
+    label = "subarray"
+
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        layout = ctx.layout
+        if not isinstance(layout, StridedLayout):
+            raise TypeError("the subarray scheme requires a regular strided layout")
+        self.src = layout.make_source(ctx.materialize)
+        self.datatype = layout.make_subarray_datatype()
+
+    def iteration_sender(self, comm: Comm) -> None:
+        comm.Send(self.src, dest=1, tag=PING_TAG, count=1, datatype=self.datatype)
+        self._recv_pong(comm)
+
+    def teardown_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.datatype.free()

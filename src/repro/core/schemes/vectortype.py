@@ -1,0 +1,33 @@
+"""Vector-datatype scheme (paper section 2.3).
+
+Sends the strided data directly as one ``MPI_Type_vector`` element.
+The library stages it through internal buffers, so it tracks the manual
+copy for moderate sizes and picks up the internal-bookkeeping penalty
+beyond a few tens of megabytes (section 4.1).
+"""
+
+from __future__ import annotations
+
+from ...mpi.comm import Comm
+from .base import PING_TAG, SchemeContext, SendScheme
+
+__all__ = ["VectorTypeScheme"]
+
+
+class VectorTypeScheme(SendScheme):
+    """Direct send of one MPI_Type_vector element."""
+
+    key = "vector"
+    label = "vector type"
+
+    def setup_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        self.src = ctx.layout.make_source(ctx.materialize)
+        self.datatype = ctx.layout.make_datatype()
+
+    def iteration_sender(self, comm: Comm) -> None:
+        comm.Send(self.src, dest=1, tag=PING_TAG, count=1, datatype=self.datatype)
+        self._recv_pong(comm)
+
+    def teardown_sender(self, comm: Comm, ctx: SchemeContext) -> None:
+        self.datatype.free()

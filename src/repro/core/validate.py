@@ -1,0 +1,102 @@
+"""Cross-scheme validation: every scheme must deliver identical bytes.
+
+The paper's eight schemes are eight routes for the *same* payload; a
+correct implementation therefore delivers bit-identical receive buffers
+from all of them.  This module runs every scheme at a given size with
+materialized buffers and compares the landed payloads against the
+layout's expectation and against each other — the strongest end-to-end
+correctness check the suite has, exposed as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.platform import Platform
+from ..machine.registry import get_platform
+from ..mpi.runtime import run_mpi
+from .layout import Layout, strided_for_bytes
+from .schemes import PAPER_ORDER, SchemeContext, make_scheme
+
+__all__ = ["ValidationResult", "validate_schemes"]
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of one cross-scheme validation run."""
+
+    message_bytes: int
+    platform: str
+    payloads: dict[str, np.ndarray] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"cross-scheme validation: {self.message_bytes:,} B on {self.platform} — "
+            f"{'PASS' if self.passed else 'FAIL'}"
+        ]
+        for scheme in self.payloads:
+            lines.append(f"  {scheme:18s} delivered {self.payloads[scheme].nbytes:,} B")
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def _deliver_once(scheme_key: str, layout: Layout, platform: Platform) -> np.ndarray:
+    """Run one materialized ping-pong iteration; return the landed bytes."""
+    sender = make_scheme(scheme_key)
+    receiver = make_scheme(scheme_key)
+    ctx = SchemeContext(layout=layout, materialize=True)
+    out: dict[str, np.ndarray] = {}
+
+    def main(comm):
+        if comm.rank == 0:
+            sender.setup_sender(comm, ctx)
+            comm.Barrier()
+            sender.iteration_sender(comm)
+            comm.Barrier()
+            sender.teardown_sender(comm, ctx)
+        else:
+            receiver.setup_receiver(comm, ctx)
+            comm.Barrier()
+            receiver.iteration_receiver(comm)
+            comm.Barrier()
+            out["payload"] = receiver.recv_buf.view(np.float64).copy()
+            receiver.teardown_receiver(comm, ctx)
+
+    run_mpi(main, 2, platform)
+    return out["payload"]
+
+
+def validate_schemes(
+    message_bytes: int = 65_536,
+    platform: Platform | str = "skx-impi",
+    *,
+    schemes: tuple[str, ...] = PAPER_ORDER,
+) -> ValidationResult:
+    """Deliver the same payload through every scheme and cross-check."""
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    layout = strided_for_bytes(message_bytes)
+    expected = layout.expected_payload()
+    result = ValidationResult(message_bytes=layout.message_bytes, platform=platform.name)
+    for key in schemes:
+        payload = _deliver_once(key, layout, platform)
+        result.payloads[key] = payload
+        if not np.array_equal(payload, expected):
+            bad = int(np.count_nonzero(payload != expected))
+            result.failures.append(
+                f"{key}: {bad} of {payload.size} doubles differ from the layout expectation"
+            )
+    # Pairwise consistency (redundant given the expectation check, but
+    # reported separately so a wrong *expectation* can't mask skew).
+    reference = result.payloads.get(schemes[0])
+    for key in schemes[1:]:
+        if reference is not None and not np.array_equal(result.payloads[key], reference):
+            result.failures.append(f"{key}: payload differs from {schemes[0]}'s")
+    return result

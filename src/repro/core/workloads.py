@@ -1,0 +1,154 @@
+"""Application workload layouts — the paper's motivating use cases.
+
+The introduction motivates derived datatypes with three workloads: the
+real parts of a complex array, every other grid point of a multigrid
+restriction, and irregularly spaced FEM boundary data.  This module
+builds the corresponding datatypes (plus two more staples: matrix
+columns and array-of-structures field extraction) so applications and
+tests can speak in domain terms.
+
+Every factory returns a committed datatype together with the element
+count of the *source* array it applies to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpi.datatypes import (
+    DOUBLE,
+    Datatype,
+    make_hvector,
+    make_indexed_block,
+    make_resized,
+    make_subarray,
+    make_vector,
+)
+
+__all__ = [
+    "WorkloadType",
+    "complex_real_parts",
+    "multigrid_coarsening",
+    "fem_boundary",
+    "matrix_column",
+    "matrix_row_block",
+    "aos_field",
+    "halo_faces_2d",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadType:
+    """A committed datatype plus the source geometry it describes."""
+
+    datatype: Datatype
+    #: doubles in the source array the type is used against
+    source_doubles: int
+    #: payload doubles shipped per element of the type
+    payload_doubles: int
+    #: count to pass to Send/Pack (the type may be per-element)
+    count: int = 1
+
+    @property
+    def message_bytes(self) -> int:
+        return self.payload_doubles * 8 * self.count
+
+    def payload_indices(self) -> np.ndarray:
+        """Element indices (in doubles) the transfer touches, in order."""
+        segs = self.datatype.segments(self.count)
+        return np.concatenate(
+            [np.arange(o // 8, (o + n) // 8) for o, n in segs]
+        )
+
+
+def complex_real_parts(n_complex: int) -> WorkloadType:
+    """The real parts of ``n_complex`` complex128 values: doubles at a
+    16-byte stride (paper introduction, item 1)."""
+    dtype = make_hvector(n_complex, 1, 16, DOUBLE).commit()
+    return WorkloadType(dtype, source_doubles=2 * n_complex, payload_doubles=n_complex)
+
+
+def multigrid_coarsening(n_fine: int, *, factor: int = 2) -> WorkloadType:
+    """Every ``factor``-th point of a fine grid (paper introduction,
+    item 2)."""
+    if n_fine % factor:
+        raise ValueError("fine grid must divide the coarsening factor")
+    n_coarse = n_fine // factor
+    dtype = make_vector(n_coarse, 1, factor, DOUBLE).commit()
+    return WorkloadType(dtype, source_doubles=n_fine, payload_doubles=n_coarse)
+
+
+def fem_boundary(n_local: int, boundary_indices: np.ndarray) -> WorkloadType:
+    """Irregularly spaced interface degrees of freedom (paper
+    introduction, item 3).  ``boundary_indices`` must be strictly
+    increasing and inside ``[0, n_local)``."""
+    idx = np.ascontiguousarray(boundary_indices, dtype=np.int64)
+    if idx.size == 0:
+        raise ValueError("boundary must contain at least one index")
+    if np.any(np.diff(idx) <= 0):
+        raise ValueError("boundary indices must be strictly increasing")
+    if idx[0] < 0 or idx[-1] >= n_local:
+        raise ValueError("boundary indices outside the local vector")
+    dtype = make_indexed_block(1, idx, DOUBLE).commit()
+    return WorkloadType(dtype, source_doubles=n_local, payload_doubles=int(idx.size))
+
+
+def matrix_column(nrows: int, ncols: int, col: int) -> WorkloadType:
+    """One column of a C-order ``nrows x ncols`` double matrix."""
+    if not 0 <= col < ncols:
+        raise ValueError(f"column {col} outside [0, {ncols})")
+    dtype = make_subarray([nrows, ncols], [nrows, 1], [0, col], DOUBLE).commit()
+    return WorkloadType(dtype, source_doubles=nrows * ncols, payload_doubles=nrows)
+
+
+def matrix_row_block(nrows: int, ncols: int, row0: int, nblock: int) -> WorkloadType:
+    """``nblock`` consecutive rows of a C-order matrix (contiguous —
+    the degenerate case applications should recognize as free)."""
+    if row0 < 0 or row0 + nblock > nrows:
+        raise ValueError("row block outside the matrix")
+    dtype = make_subarray([nrows, ncols], [nblock, ncols], [row0, 0], DOUBLE).commit()
+    return WorkloadType(dtype, source_doubles=nrows * ncols, payload_doubles=nblock * ncols)
+
+
+def aos_field(n_records: int, record_doubles: int, field_offset: int,
+              field_doubles: int = 1) -> WorkloadType:
+    """One field out of an array-of-structures of double records
+    (extracting, say, the mass from interleaved particle records).
+
+    Built as a resized vector so consecutive elements step whole
+    records; used with ``count=n_records``.
+    """
+    if field_offset < 0 or field_offset + field_doubles > record_doubles:
+        raise ValueError("field outside the record")
+    shifted = make_subarray(
+        [record_doubles], [field_doubles], [field_offset], DOUBLE
+    )
+    dtype = make_resized(shifted, 0, record_doubles * 8).commit()
+    return WorkloadType(
+        dtype,
+        source_doubles=n_records * record_doubles,
+        payload_doubles=field_doubles,
+        count=n_records,
+    )
+
+
+def halo_faces_2d(nx: int, ny: int, *, ghost: int = 1) -> dict[str, WorkloadType]:
+    """The four face exchanges of an ``nx x ny`` C-order grid with a
+    ``ghost``-deep halo: north/south faces are contiguous row blocks,
+    east/west faces are strided column blocks."""
+    if ghost < 1 or 2 * ghost >= min(nx, ny):
+        raise ValueError("ghost depth must leave an interior")
+    total = nx * ny
+    faces = {
+        "north": make_subarray([nx, ny], [ghost, ny], [0, 0], DOUBLE).commit(),
+        "south": make_subarray([nx, ny], [ghost, ny], [nx - ghost, 0], DOUBLE).commit(),
+        "west": make_subarray([nx, ny], [nx, ghost], [0, 0], DOUBLE).commit(),
+        "east": make_subarray([nx, ny], [nx, ghost], [0, ny - ghost], DOUBLE).commit(),
+    }
+    return {
+        name: WorkloadType(dtype, source_doubles=total,
+                           payload_doubles=dtype.size // 8)
+        for name, dtype in faces.items()
+    }

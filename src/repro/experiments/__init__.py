@@ -1,0 +1,30 @@
+"""Per-experiment drivers: figures, in-text experiments, ablations."""
+
+from .base import ExperimentResult
+from .block_size import run_block_size_experiment
+from .cache_flush import run_cache_flush_experiment
+from .eager_limit import run_eager_limit_experiment
+from .irregular_spacing import run_irregular_spacing_experiment
+from .model_ablation import (
+    run_slowdown_prediction_experiment,
+    run_threshold_ablation_experiment,
+)
+from .multi_process import run_multi_process_experiment
+from .noise import run_noise_experiment
+from .registry import EXPERIMENTS, list_experiments, run_experiment, run_figure_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "run_figure_experiment",
+    "run_eager_limit_experiment",
+    "run_cache_flush_experiment",
+    "run_irregular_spacing_experiment",
+    "run_block_size_experiment",
+    "run_multi_process_experiment",
+    "run_noise_experiment",
+    "run_slowdown_prediction_experiment",
+    "run_threshold_ablation_experiment",
+]

@@ -1,0 +1,31 @@
+"""Common experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one in-text experiment or ablation.
+
+    ``passed`` records whether the paper's qualitative statement held in
+    the simulation (``None`` for purely descriptive ablations).
+    """
+
+    exp_id: str
+    title: str
+    passed: bool | None
+    summary: str
+    details: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        mark = {True: "PASS", False: "FAIL", None: "INFO"}[self.passed]
+        parts = [f"== {self.exp_id}: {self.title} [{mark}]", self.summary]
+        if self.details:
+            parts.append(self.details)
+        return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Section 4.7, item 2 — block size.
+
+"Types with larger block sizes may perform better due to higher cache
+line utilization in the read."  We hold the payload fixed and grow the
+contiguous block length (with stride = 2 x blocklen, keeping density at
+one half), expecting times to fall towards the contiguous-send floor.
+"""
+
+from __future__ import annotations
+
+from ..core.layout import StridedLayout
+from ..core.pingpong import run_pingpong
+from ..core.timing import TimingPolicy
+from ..machine.registry import get_platform
+from .base import ExperimentResult
+
+__all__ = ["run_block_size_experiment"]
+
+
+def run_block_size_experiment(platform: str = "skx-impi", *, quick: bool = False) -> ExperimentResult:
+    plat = get_platform(platform)
+    payload_elems = 2 ** 17 if quick else 2 ** 21  # 1 MB / 16 MB payload
+    blocklens = (1, 4, 16) if quick else (1, 2, 4, 8, 16, 32)
+    policy = TimingPolicy(iterations=5 if quick else 20)
+    times: dict[int, float] = {}
+    lines = []
+    for blocklen in blocklens:
+        layout = StridedLayout(
+            nblocks=payload_elems // blocklen, blocklen=blocklen, stride=2 * blocklen
+        )
+        cell = run_pingpong("copying", layout, plat, policy=policy, materialize=False)
+        times[blocklen] = cell.time
+        lines.append(
+            f"  blocklen {blocklen:>3} doubles: {cell.time:.4g}s "
+            f"({cell.bandwidth / 1e9:.2f} GB/s effective)"
+        )
+    ordered = [times[b] for b in blocklens]
+    monotone_better = all(b <= a * 1.001 for a, b in zip(ordered, ordered[1:]))
+    improvement = ordered[0] / ordered[-1]
+    return ExperimentResult(
+        exp_id="blocksize",
+        title=f"Block-size effect on {platform} ({payload_elems * 8:,} B payload)",
+        passed=monotone_better and improvement > 1.05,
+        summary=(
+            f"growing blocks from {blocklens[0]} to {blocklens[-1]} doubles speeds the "
+            f"copy-based send up {improvement:.2f}x "
+            f"({'monotone' if monotone_better else 'NON-monotone'})"
+        ),
+        details="\n".join(lines),
+        data={"times": {str(b): t for b, t in times.items()}, "improvement": improvement},
+    )

@@ -1,0 +1,82 @@
+"""Section 4.5 — the eager limit.
+
+Two statements to reproduce:
+
+1. Messages just over the eager limit perform worse per byte than just
+   under it (visible for most schemes).
+2. Raising the eager limit above the maximum message size "did not
+   appreciably change the results for large messages".
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import detect_eager_drop
+from ..core.runner import run_sweep
+from ..core.sweep import SweepConfig
+from ..core.timing import TimingPolicy
+from ..machine.registry import get_platform
+from .base import ExperimentResult
+
+__all__ = ["run_eager_limit_experiment"]
+
+
+def run_eager_limit_experiment(platform: str = "skx-impi", *, quick: bool = False) -> ExperimentResult:
+    plat = get_platform(platform)
+    limit = plat.tuning.eager_limit
+    if limit is None:
+        raise ValueError(f"platform {platform} has no eager limit to study")
+    # Sizes bracketing the limit tightly, plus a large-message point.
+    bracket = [limit // 4, limit // 2, limit, 2 * limit, 4 * limit]
+    large = [100_000_000] if not quick else [50_000_000]
+    sizes = sorted({max(16, (s // 16) * 16) for s in bracket + large})
+    schemes = ("reference", "packing-vector") if quick else ("reference", "vector", "packing-vector")
+    config = SweepConfig(
+        sizes=tuple(sizes),
+        schemes=schemes,
+        policy=TimingPolicy(iterations=5 if quick else 20),
+    )
+    default_sweep = run_sweep(plat, config)
+    unlimited = plat.with_tuning(plat.tuning.with_eager_limit(None)).with_name(
+        f"{plat.name}+eager-unlimited"
+    )
+    unlimited_sweep = run_sweep(unlimited, config)
+
+    drop = detect_eager_drop(default_sweep.series("reference"), limit)
+    drop_ok = drop is not None and drop.ratio > 1.02
+
+    big = sizes[-1]
+    t_default = default_sweep.series("reference").time_at(big)
+    t_unlimited = unlimited_sweep.series("reference").time_at(big)
+    change = abs(t_unlimited - t_default) / t_default
+    large_ok = change <= 0.05
+
+    details = []
+    for key in schemes:
+        d = detect_eager_drop(default_sweep.series(key), limit)
+        if d:
+            details.append(
+                f"  {key}: per-byte {d.below_per_byte:.3e} s/B under vs "
+                f"{d.above_per_byte:.3e} s/B over the limit (ratio {d.ratio:.2f})"
+            )
+    details.append(
+        f"  large message ({big:.0e} B): {t_default:.4g}s default vs "
+        f"{t_unlimited:.4g}s with unlimited eager ({change:.1%} change)"
+    )
+    return ExperimentResult(
+        exp_id="eager",
+        title=f"Eager-limit effects on {platform} (limit {limit} B)",
+        passed=drop_ok and large_ok,
+        summary=(
+            f"per-byte drop at the limit: {'visible' if drop_ok else 'NOT visible'} "
+            f"(ratio {drop.ratio:.2f}); raising the limit changed large-message time "
+            f"by {change:.1%} ({'not appreciable' if large_ok else 'appreciable'})"
+        ),
+        details="\n".join(details),
+        data={
+            "limit": limit,
+            "drop_ratio": drop.ratio if drop else None,
+            "large_message_change": change,
+            "default": default_sweep.to_dict(),
+            "unlimited": unlimited_sweep.to_dict(),
+        },
+    )

@@ -1,0 +1,55 @@
+"""Section 4.7 — all processes per node communicating.
+
+"A limited test ... shows that no performance degradation results from
+having all processes on a node communicate."  We model k communicating
+pairs sharing the node's injection bandwidth and check that the
+non-contiguous schemes — which are bound by their private per-core copy
+loops, not the wire — do not degrade.
+"""
+
+from __future__ import annotations
+
+from ..core.layout import strided_for_bytes
+from ..core.pingpong import run_pingpong
+from ..core.timing import TimingPolicy
+from ..machine.registry import get_platform
+from .base import ExperimentResult
+
+__all__ = ["run_multi_process_experiment"]
+
+
+def run_multi_process_experiment(platform: str = "skx-impi", *, quick: bool = False) -> ExperimentResult:
+    plat = get_platform(platform)
+    message_bytes = 1_000_000 if quick else 4_000_000
+    layout = strided_for_bytes(message_bytes)
+    streams = (1, 2) if quick else (1, 2, 4)
+    policy = TimingPolicy(iterations=5 if quick else 20)
+    times: dict[str, dict[int, float]] = {"vector": {}, "copying": {}}
+    lines = []
+    for scheme in times:
+        for k in streams:
+            cell = run_pingpong(
+                scheme, layout, plat, policy=policy, materialize=False, concurrent_streams=k
+            )
+            times[scheme][k] = cell.time
+        ratios = [times[scheme][k] / times[scheme][streams[0]] for k in streams]
+        lines.append(
+            f"  {scheme}: " + ", ".join(f"{k} pair(s) -> {times[scheme][k]:.4g}s" for k in streams)
+            + f" (ratios {', '.join(f'{r:.2f}' for r in ratios)})"
+        )
+    worst = max(
+        times[scheme][k] / times[scheme][streams[0]] for scheme in times for k in streams
+    )
+    ok = worst <= 1.15
+    return ExperimentResult(
+        exp_id="multiproc",
+        title=f"All-processes-per-node test on {platform} ({message_bytes:,} B)",
+        passed=ok,
+        summary=(
+            f"with up to {streams[-1]} communicating pairs per node the non-contiguous "
+            f"schemes degrade at most {100 * (worst - 1):.1f}% "
+            f"({'no appreciable degradation' if ok else 'degradation observed'})"
+        ),
+        details="\n".join(lines),
+        data={"times": {s: {str(k): v for k, v in d.items()} for s, d in times.items()}},
+    )

@@ -1,0 +1,172 @@
+"""Closed-form first-order predictions of the paper's section 2 model.
+
+These formulas are the *analytic* counterpart of the discrete-event
+simulation: the simulator composes the same costs event by event, so
+for simple scenarios the two must agree.  Tests cross-check them
+(simulation-vs-model consistency), and the ``model`` experiment reports
+them next to the measured values.
+
+All predictions are for one ping-pong of ``nbytes`` payload in the
+paper's harness (zero-byte pong, cold caches, stride-2 double layout),
+ignoring sub-microsecond per-call constants unless stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .access import AccessPattern
+from .platform import Platform
+
+__all__ = ["AnalyticModel", "stride2_pattern"]
+
+
+def stride2_pattern(nbytes: int) -> AccessPattern:
+    """The paper's layout: ``nbytes`` of payload as every other double."""
+    if nbytes <= 0 or nbytes % 8:
+        raise ValueError("nbytes must be a positive multiple of 8")
+    return AccessPattern(
+        total_bytes=nbytes,
+        block_bytes=8.0,
+        nblocks=nbytes // 8,
+        span_bytes=2 * nbytes,
+    )
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """First-order ping-pong predictions for one platform."""
+
+    platform: Platform
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def overheads(self) -> float:
+        """Per ping-pong fixed software cost on the critical path.
+
+        Each of the two messages exposes one call overhead (the send
+        side's) plus the network send and receive overheads; the
+        receive-posting calls happen while the message is in flight and
+        hide completely."""
+        net = self.platform.network
+        cpu = self.platform.cpu
+        return 2 * (cpu.call_overhead + net.send_overhead + net.recv_overhead)
+
+    def wire(self, nbytes: int) -> float:
+        return self.platform.network.wire_time(nbytes)
+
+    def gather_time(self, nbytes: int, *, internal: bool = False) -> float:
+        """Cold gather of the stride-2 layout, optionally through the
+        library's internal staging (large-message penalty)."""
+        pattern = stride2_pattern(nbytes)
+        base = self.platform.memory.gather_cost(pattern, warm=False).total
+        tuning = self.platform.tuning
+        if internal and nbytes > tuning.large_message_threshold:
+            chunks = -(-nbytes // tuning.internal_chunk_bytes)
+            return base / tuning.large_message_bw_factor + chunks * tuning.chunk_bookkeeping
+        return base
+
+    def transport_time(self, nbytes: int, *, packed: bool = False,
+                       derived: bool = False, wire_factor: float = 1.0) -> float:
+        """One-way delivery: protocol handshakes + serialization +
+        receiver-side eager bounce where applicable."""
+        net = self.platform.network
+        tuning = self.platform.tuning
+        if tuning.uses_eager(nbytes, packed=packed, derived=derived):
+            bounce = (
+                self.platform.memory.contiguous_copy_cost(nbytes, warm=True)
+                if tuning.eager_bounce_copy
+                else 0.0
+            )
+            return net.latency + self.wire(nbytes) / wire_factor + bounce
+        hops = 1 + tuning.rendezvous_extra_hops  # RTS + CTS + data
+        return (
+            hops * net.latency
+            + tuning.rendezvous_overhead
+            + self.wire(nbytes) / wire_factor
+        )
+
+    def pong_time(self) -> float:
+        """The zero-byte return message."""
+        return self.platform.network.latency
+
+    # ------------------------------------------------------------------
+    # Per-scheme ping-pong predictions
+    # ------------------------------------------------------------------
+    def reference(self, nbytes: int) -> float:
+        """Section 2.1: proportionality constant 1 (wire only)."""
+        return self.overheads() + self.transport_time(nbytes) + self.pong_time()
+
+    def copying(self, nbytes: int) -> float:
+        """Section 2.2: a user gather, then the contiguous send."""
+        return self.gather_time(nbytes) + self.reference(nbytes)
+
+    def vector(self, nbytes: int) -> float:
+        """Section 2.3: internal staging, then the transport (with the
+        large-message penalty and any derived-type protocol quirks)."""
+        return (
+            self.overheads()
+            + self.gather_time(nbytes, internal=True)
+            + self.transport_time(nbytes, derived=True)
+            + self.pong_time()
+        )
+
+    def packing_vector(self, nbytes: int) -> float:
+        """Section 2.6 packing(v): a user-space MPI_Pack (as efficient
+        as the copy loop) plus a PACKED contiguous send."""
+        pack = self.gather_time(nbytes) / self.platform.tuning.pack_bw_factor
+        pack += self.platform.cpu.pack_element_overhead + self.platform.cpu.call_overhead
+        return self.overheads() + pack + self.transport_time(nbytes, packed=True) + self.pong_time()
+
+    def packing_element(self, nbytes: int) -> float:
+        """Section 2.6 packing(e): packing(v) plus one call overhead per
+        element."""
+        ncalls = nbytes // 8
+        return self.packing_vector(nbytes) + (ncalls - 1) * self.platform.cpu.pack_element_overhead
+
+    def buffered(self, nbytes: int) -> float:
+        """Section 2.4: a gather into the attached buffer, then a dense
+        transfer at the buffered-send bandwidth derating (which includes
+        the large-message factor — Bsend does not escape it)."""
+        tuning = self.platform.tuning
+        factor = tuning.bsend_bw_factor
+        if nbytes > tuning.large_message_threshold:
+            factor *= tuning.large_message_bw_factor
+        return (
+            self.overheads()
+            + self.gather_time(nbytes)
+            + self.transport_time(nbytes, wire_factor=factor)
+            + self.pong_time()
+        )
+
+    def onesided(self, nbytes: int) -> float:
+        """Section 2.5: staging at Put, transfer drained at the closing
+        fence at the one-sided bandwidth factor, plus the fence
+        synchronization fee — no pong message."""
+        tuning = self.platform.tuning
+        net = self.platform.network
+        cpu = self.platform.cpu
+        factor = (
+            tuning.onesided_large_bw_factor
+            if nbytes > tuning.large_message_threshold
+            else tuning.onesided_bw_factor
+        )
+        fence = tuning.fence_base + 2 * tuning.fence_per_rank
+        # Put call + staging, then at the fence: drain (wire + latency)
+        # and the synchronization fee; the fence call itself adds one
+        # overhead.
+        return (
+            2 * cpu.call_overhead
+            + self.gather_time(nbytes, internal=True)
+            + self.wire(nbytes) / factor
+            + net.latency
+            + fence
+        )
+
+    def predicted_copying_slowdown(self) -> float:
+        """The asymptotic copying slowdown — the paper's 'factor of
+        three' once memory and network bandwidths are equal."""
+        net = self.platform.network.bandwidth
+        mem = self.platform.memory.hierarchy
+        return 1.0 + net * (2.0 / mem.dram_read_bandwidth + 0.5 / mem.dram_write_bandwidth)

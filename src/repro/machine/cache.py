@@ -1,0 +1,107 @@
+"""Cache hierarchy model.
+
+The paper flushes the cache between ping-pongs by rewriting a 50 MB
+array (section 3.2), and notes (section 4.6) that *not* flushing helps
+intermediate message sizes.  To reproduce both behaviours the memory
+model needs to know, for a given working-set size and warm/cold state,
+which level of the hierarchy feeds the copy loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (``"L1"``, ``"L2"``, ...).
+    capacity:
+        Capacity in bytes available to a single core's working set.
+    read_bandwidth:
+        Sustained single-core read bandwidth from this level, bytes/s.
+    write_bandwidth:
+        Sustained single-core write bandwidth into this level, bytes/s.
+    """
+
+    name: str
+    capacity: int
+    read_bandwidth: float
+    write_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered cache hierarchy plus DRAM.
+
+    ``levels`` are ordered from smallest/fastest to largest/slowest and
+    must have strictly increasing capacities.  DRAM backs everything and
+    has unbounded capacity.
+    """
+
+    levels: tuple[CacheLevel, ...]
+    dram_read_bandwidth: float
+    dram_write_bandwidth: float
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.dram_read_bandwidth <= 0 or self.dram_write_bandwidth <= 0:
+            raise ValueError("DRAM bandwidths must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        caps = [lvl.capacity for lvl in self.levels]
+        if any(b <= a for a, b in zip(caps, caps[1:])):
+            raise ValueError("cache levels must have strictly increasing capacities")
+
+    @property
+    def last_level_capacity(self) -> int:
+        """Capacity of the largest cache level (0 if no caches)."""
+        return self.levels[-1].capacity if self.levels else 0
+
+    def serving_level(self, working_set: int, warm: bool) -> CacheLevel | None:
+        """The cache level that serves ``working_set`` bytes, or ``None`` for DRAM.
+
+        A cold (flushed) working set is always served from DRAM: the
+        paper's 50 MB rewrite evicts every level.  A warm working set is
+        served by the smallest level that holds it entirely.
+        """
+        if working_set < 0:
+            raise ValueError("working_set must be non-negative")
+        if not warm:
+            return None
+        for level in self.levels:
+            if working_set <= level.capacity:
+                return level
+        return None
+
+    def read_bandwidth(self, working_set: int, warm: bool) -> float:
+        """Sustained read bandwidth for a working set, bytes/s."""
+        level = self.serving_level(working_set, warm)
+        return level.read_bandwidth if level is not None else self.dram_read_bandwidth
+
+    def write_bandwidth(self, working_set: int, warm: bool) -> float:
+        """Sustained write bandwidth for a working set, bytes/s."""
+        level = self.serving_level(working_set, warm)
+        return level.write_bandwidth if level is not None else self.dram_write_bandwidth
+
+    def flush_cost(self, flush_bytes: int) -> float:
+        """Virtual time to rewrite ``flush_bytes`` of memory (the flusher).
+
+        Rewriting streams through DRAM: a read-modify-write pass costs
+        one read and one write per byte.
+        """
+        if flush_bytes < 0:
+            raise ValueError("flush_bytes must be non-negative")
+        return flush_bytes / self.dram_read_bandwidth + flush_bytes / self.dram_write_bandwidth

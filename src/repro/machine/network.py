@@ -1,0 +1,78 @@
+"""Network fabric model (LogGP-flavoured).
+
+Captures the hardware side of a message transfer: one-way latency, peak
+injection bandwidth, per-message send/receive CPU overheads, and whether
+the NIC can stream a contiguous buffer without occupying the core
+(the paper's proportionality-constant-1 assumption for the reference
+send, section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Fabric timing parameters.
+
+    Parameters
+    ----------
+    latency:
+        One-way zero-byte latency, seconds.
+    bandwidth:
+        Peak point-to-point bandwidth, bytes/s.
+    send_overhead / recv_overhead:
+        CPU time consumed per message at each endpoint (the LogP ``o``).
+    nic_offload:
+        When True, the core is released as soon as a *contiguous* send is
+        handed to the NIC; the wire time overlaps with subsequent work.
+        When False, the core busy-waits for the full wire time.
+    per_node_bandwidth:
+        Aggregate injection bandwidth of one node, bytes/s.  Multiple
+        communicating processes on a node share this (section 4.7's
+        all-cores test).  Defaults to the single-stream bandwidth
+        (no extra headroom).
+    """
+
+    latency: float
+    bandwidth: float
+    send_overhead: float = 0.0
+    recv_overhead: float = 0.0
+    nic_offload: bool = True
+    per_node_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.send_overhead < 0 or self.recv_overhead < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.per_node_bandwidth is not None and self.per_node_bandwidth <= 0:
+            raise ValueError("per_node_bandwidth must be positive")
+
+    @property
+    def node_bandwidth(self) -> float:
+        """Aggregate node injection bandwidth (bytes/s)."""
+        return self.per_node_bandwidth if self.per_node_bandwidth is not None else self.bandwidth
+
+    def stream_bandwidth(self, concurrent_streams: int = 1) -> float:
+        """Per-stream bandwidth when ``concurrent_streams`` share the NIC."""
+        if concurrent_streams < 1:
+            raise ValueError("concurrent_streams must be >= 1")
+        if concurrent_streams == 1:
+            return self.bandwidth
+        return min(self.bandwidth, self.node_bandwidth / concurrent_streams)
+
+    def wire_time(self, nbytes: int, concurrent_streams: int = 1) -> float:
+        """Serialization time of ``nbytes`` on the wire."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.stream_bandwidth(concurrent_streams)
+
+    def point_to_point_time(self, nbytes: int) -> float:
+        """First-order one-way delivery time (latency + serialization)."""
+        return self.latency + self.wire_time(nbytes)

@@ -1,0 +1,70 @@
+"""Optional measurement-noise model.
+
+The simulator is deterministic by default; the paper's harness
+nevertheless carries a dismiss-beyond-one-sigma filter "that in practice
+is never needed" (section 3.2).  To exercise that machinery — and to
+make demo plots look like real measurements — a platform can carry a
+seeded multiplicative jitter model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Seeded multiplicative lognormal jitter plus rare outlier spikes.
+
+    Parameters
+    ----------
+    sigma:
+        Lognormal shape parameter of the per-measurement jitter.  The
+        default 0.01 (≈1% spread) is small enough that the one-sigma
+        dismissal filter never fires, matching the paper's observation.
+    outlier_probability:
+        Chance that a measurement is hit by an OS-noise spike.
+    outlier_factor:
+        Multiplier applied to spiked measurements.
+    seed:
+        Base RNG seed; each consumer should derive a stream with
+        :meth:`rng`.
+    """
+
+    sigma: float = 0.01
+    outlier_probability: float = 0.0
+    outlier_factor: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0.0 <= self.outlier_probability <= 1.0:
+            raise ValueError("outlier_probability must lie in [0, 1]")
+        if self.outlier_factor < 1.0:
+            raise ValueError("outlier_factor must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.sigma > 0 or self.outlier_probability > 0
+
+    def rng(self, stream: int = 0) -> np.random.Generator:
+        """A reproducible generator for an independent consumer stream."""
+        return np.random.default_rng(np.random.SeedSequence([self.seed, stream]))
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        """Apply jitter to one measured duration."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if not self.enabled or value == 0:
+            return value
+        out = value
+        if self.sigma > 0:
+            out *= float(rng.lognormal(mean=0.0, sigma=self.sigma))
+        if self.outlier_probability > 0 and rng.random() < self.outlier_probability:
+            out *= self.outlier_factor
+        return out

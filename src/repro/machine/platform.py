@@ -1,0 +1,90 @@
+"""The :class:`Platform` aggregate: one machine + one MPI installation.
+
+A platform bundles the hardware models (memory hierarchy, network
+fabric, CPU overheads) with the MPI tuning profile and optional noise
+model.  Everything in the simulator that needs a price asks the
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .cpu import CpuModel
+from .memory import MemoryModel
+from .network import NetworkModel
+from .noise import NoiseModel
+from .tuning import MpiTuning
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A named machine/MPI combination.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"skx-impi"``.
+    description:
+        Human-readable provenance (cluster, fabric, MPI library).
+    memory / network / cpu:
+        The hardware models.
+    tuning:
+        The MPI installation's tuning profile.
+    noise:
+        Optional measurement jitter (``None`` = deterministic).
+    figure:
+        Which paper figure this platform reproduces, if any.
+    """
+
+    name: str
+    description: str
+    memory: MemoryModel
+    network: NetworkModel
+    cpu: CpuModel
+    tuning: MpiTuning = field(default_factory=MpiTuning)
+    noise: NoiseModel | None = None
+    figure: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name must be non-empty")
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def cache_line(self) -> int:
+        return self.memory.hierarchy.line_size
+
+    def with_tuning(self, tuning: MpiTuning) -> "Platform":
+        """Copy of this platform with a replaced tuning profile."""
+        return replace(self, tuning=tuning)
+
+    def with_noise(self, noise: NoiseModel | None) -> "Platform":
+        """Copy of this platform with a replaced noise model."""
+        return replace(self, noise=noise)
+
+    def with_name(self, name: str, description: str | None = None) -> "Platform":
+        """Copy of this platform under a new name."""
+        return replace(
+            self, name=name, description=description if description is not None else self.description
+        )
+
+    def describe(self) -> str:
+        """Multi-line summary used by the CLI's ``platforms`` command."""
+        net = self.network
+        tun = self.tuning
+        eager = "unlimited" if tun.eager_limit is None else f"{tun.eager_limit} B"
+        lines = [
+            f"{self.name}: {self.description}",
+            f"  network: latency {net.latency * 1e6:.2f} us, bandwidth "
+            f"{net.bandwidth / 1e9:.2f} GB/s, NIC offload {'on' if net.nic_offload else 'off'}",
+            f"  memory: DRAM read {self.memory.hierarchy.dram_read_bandwidth / 1e9:.2f} GB/s, "
+            f"{len(self.memory.hierarchy.levels)} cache levels",
+            f"  tuning: eager limit {eager}, staging chunk {tun.internal_chunk_bytes} B, "
+            f"large-message threshold {tun.large_message_threshold} B",
+        ]
+        if self.figure:
+            lines.append(f"  reproduces: {self.figure}")
+        return "\n".join(lines)

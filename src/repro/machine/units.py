@@ -1,0 +1,113 @@
+"""Byte and time unit helpers used throughout the machine models.
+
+All machine-model quantities are kept in SI base units internally
+(bytes, seconds, bytes/second).  This module provides the constants and
+the small parsing/formatting helpers that keep platform definitions and
+reports readable.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "US",
+    "MS",
+    "NS",
+    "parse_bytes",
+    "format_bytes",
+    "format_time",
+    "format_bandwidth",
+]
+
+# Decimal byte multiples (used for message sizes, matching the paper's axes).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary byte multiples (used for cache sizes and MPI tuning knobs).
+KIB = 1_024
+MIB = 1_048_576
+GIB = 1_073_741_824
+
+# Time multiples, in seconds.
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "m": MB,
+    "mb": MB,
+    "g": GB,
+    "gb": GB,
+    "ki": KIB,
+    "kib": KIB,
+    "mi": MIB,
+    "mib": MIB,
+    "gi": GIB,
+    "gib": GIB,
+}
+
+_BYTES_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a byte count such as ``"64KiB"``, ``"1e6"``, or ``"2.5MB"``.
+
+    Integers and floats pass through (rounded to int).  Raises
+    ``ValueError`` on unknown suffixes or negative values.
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if value < 0:
+            raise ValueError(f"byte count must be non-negative, got {text!r}")
+        return int(round(value))
+    match = _BYTES_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse byte count {text!r}")
+    number, suffix = match.groups()
+    key = suffix.lower()
+    if key not in _SUFFIXES:
+        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}")
+    value = float(number) * _SUFFIXES[key]
+    if value < 0:
+        raise ValueError(f"byte count must be non-negative, got {text!r}")
+    return int(round(value))
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with a decimal suffix, e.g. ``1.5e6 -> "1.50 MB"``."""
+    nbytes = float(nbytes)
+    for limit, suffix in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(nbytes) >= limit:
+            return f"{nbytes / limit:.2f} {suffix}"
+    return f"{nbytes:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an appropriate sub-second suffix."""
+    seconds = float(seconds)
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) >= 1:
+        return f"{seconds:.3f} s"
+    if abs(seconds) >= MS:
+        return f"{seconds / MS:.3f} ms"
+    if abs(seconds) >= US:
+        return f"{seconds / US:.3f} us"
+    return f"{seconds / NS:.1f} ns"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth in GB/s (decimal), the unit of the paper's plots."""
+    return f"{bytes_per_second / GB:.3f} GB/s"

@@ -1,0 +1,265 @@
+"""Collectives, built on the library's own point-to-point layer.
+
+Binomial-tree algorithms, the way MPICH implements the small-message
+cases — timing and data movement both fall out of the p2p protocol.
+Collective traffic uses a reserved tag space; correctness relies on the
+MPI rule that all ranks invoke collectives in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .datatypes import Datatype
+from .errors import CommunicatorError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "scan",
+    "exscan",
+    "REDUCE_OPS",
+]
+
+_COLL_TAG_BASE = 1 << 28
+
+#: Supported reduction operators, applied to numpy views.
+REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def _next_tag(comm: "Comm") -> int:
+    comm._coll_seq += 1
+    return _COLL_TAG_BASE + (comm._coll_seq & 0xFFFF)
+
+
+def _tree_children(rel: int, size: int) -> list[int]:
+    """Children of relative rank ``rel`` in a binomial broadcast tree."""
+    children = []
+    mask = 1
+    while mask < size:
+        if rel & (mask - 1) == 0 and rel | mask != rel and rel | mask < size and rel & mask == 0:
+            children.append(rel | mask)
+        mask <<= 1
+    return children
+
+
+def _tree_parent(rel: int) -> int:
+    """Parent of relative rank ``rel`` (clear the lowest set bit)."""
+    return rel & (rel - 1)
+
+
+def barrier(comm: "Comm") -> None:
+    """Binomial fan-in to rank 0, then fan-out, with empty messages."""
+    tag = _next_tag(comm)
+    size = comm.size
+    if size == 1:
+        comm.process.task.sleep(comm.world.cost.call())
+        return
+    empty = np.empty(0, dtype=np.uint8)
+    rel = comm.rank  # root 0
+    children = _tree_children(rel, size)
+    # Fan-in: children report, deepest first.
+    for child in reversed(children):
+        comm.Recv(empty, source=child, tag=tag, count=0)
+    if rel != 0:
+        parent = _tree_parent(rel)
+        comm.Send(empty, dest=parent, tag=tag, count=0)
+        comm.Recv(empty, source=parent, tag=tag + 1, count=0)
+    # Fan-out: release children.
+    for child in children:
+        comm.Send(empty, dest=child, tag=tag + 1, count=0)
+
+
+def bcast(comm: "Comm", buf, root: int = 0, *, count: int | None = None,
+          datatype: Datatype | None = None) -> None:
+    """Binomial-tree broadcast from ``root``."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"broadcast root {root} outside [0, {size})")
+    tag = _next_tag(comm)
+    if size == 1:
+        comm.process.task.sleep(comm.world.cost.call())
+        return
+    rel = (comm.rank - root) % size
+    if rel != 0:
+        parent = (_tree_parent(rel) + root) % size
+        comm.Recv(buf, source=parent, tag=tag, count=count, datatype=datatype)
+    for child in _tree_children(rel, size):
+        comm.Send(buf, dest=(child + root) % size, tag=tag, count=count, datatype=datatype)
+
+
+def reduce(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray | None,
+           op: str = "sum", root: int = 0) -> None:
+    """Binomial-tree reduction to ``root``.
+
+    Buffers must be numpy arrays (the combine step needs typed
+    element access).  Non-root ranks may pass ``recvbuf=None``.
+    """
+    if op not in REDUCE_OPS:
+        raise CommunicatorError(f"unknown reduction op {op!r}; known: {sorted(REDUCE_OPS)}")
+    size = comm.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"reduce root {root} outside [0, {size})")
+    if comm.rank == root and recvbuf is None:
+        raise CommunicatorError("root must supply recvbuf")
+    tag = _next_tag(comm)
+    combine = REDUCE_OPS[op]
+    acc = sendbuf.copy()
+    rel = (comm.rank - root) % size
+    scratch = np.empty_like(sendbuf)
+    # Receive from children (relative ranks rel | mask), combine, pass up.
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel & ~mask) + root) % size
+            comm.Send(acc, dest=parent, tag=tag)
+            break
+        child_rel = rel | mask
+        if child_rel < size:
+            comm.Recv(scratch, source=(child_rel + root) % size, tag=tag)
+            combine(acc, scratch, out=acc)
+        mask <<= 1
+    if comm.rank == root:
+        assert recvbuf is not None
+        recvbuf[...] = acc
+
+
+def allreduce(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray,
+              op: str = "sum") -> None:
+    """Reduce to rank 0, then broadcast (the small-message algorithm).
+
+    ``recvbuf`` is required on every rank (the broadcast fills it)."""
+    if recvbuf is None:
+        raise CommunicatorError("allreduce requires recvbuf on every rank")
+    reduce(comm, sendbuf, recvbuf, op, root=0)
+    bcast(comm, recvbuf, root=0)
+
+
+def gather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray | None,
+           root: int = 0) -> None:
+    """Linear gather to ``root``; ``recvbuf`` is ``(size, ...)`` shaped."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"gather root {root} outside [0, {size})")
+    tag = _next_tag(comm)
+    if comm.rank == root:
+        if recvbuf is None:
+            raise CommunicatorError("root must supply recvbuf")
+        if recvbuf.shape[0] != size:
+            raise CommunicatorError(
+                f"recvbuf first dimension {recvbuf.shape[0]} != communicator size {size}"
+            )
+        recvbuf[root] = sendbuf
+        for source in range(size):
+            if source != root:
+                slot = recvbuf[source]
+                if not slot.flags.c_contiguous:
+                    raise CommunicatorError("recvbuf slots must be C-contiguous")
+                comm.Recv(slot, source=source, tag=tag)
+    else:
+        comm.Send(sendbuf, dest=root, tag=tag)
+
+
+def allgather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Gather to rank 0, then broadcast the assembled buffer."""
+    gather(comm, sendbuf, recvbuf if comm.rank == 0 else recvbuf, root=0)
+    bcast(comm, recvbuf, root=0)
+
+
+def scan(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "sum") -> None:
+    """``MPI_Scan``: inclusive prefix reduction by rank (linear chain)."""
+    if op not in REDUCE_OPS:
+        raise CommunicatorError(f"unknown reduction op {op!r}; known: {sorted(REDUCE_OPS)}")
+    tag = _next_tag(comm)
+    combine = REDUCE_OPS[op]
+    acc = sendbuf.copy()
+    if comm.rank > 0:
+        upstream = np.empty_like(sendbuf)
+        comm.Recv(upstream, source=comm.rank - 1, tag=tag)
+        combine(upstream, acc, out=acc)
+    if comm.rank < comm.size - 1:
+        comm.Send(acc, dest=comm.rank + 1, tag=tag)
+    recvbuf[...] = acc
+
+
+def exscan(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "sum") -> None:
+    """``MPI_Exscan``: exclusive prefix reduction; rank 0's recvbuf is
+    left untouched (MPI leaves it undefined)."""
+    if op not in REDUCE_OPS:
+        raise CommunicatorError(f"unknown reduction op {op!r}; known: {sorted(REDUCE_OPS)}")
+    tag = _next_tag(comm)
+    combine = REDUCE_OPS[op]
+    if comm.rank > 0:
+        upstream = np.empty_like(sendbuf)
+        comm.Recv(upstream, source=comm.rank - 1, tag=tag)
+        recvbuf[...] = upstream
+        acc = upstream.copy()
+        combine(acc, sendbuf, out=acc)
+    else:
+        acc = sendbuf.copy()
+    if comm.rank < comm.size - 1:
+        comm.Send(acc, dest=comm.rank + 1, tag=tag)
+
+
+def scatter(comm: "Comm", sendbuf: np.ndarray | None, recvbuf: np.ndarray,
+            root: int = 0) -> None:
+    """Linear scatter from ``root``; ``sendbuf`` is ``(size, ...)``
+    shaped at the root, ignored elsewhere."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"scatter root {root} outside [0, {size})")
+    tag = _next_tag(comm)
+    if comm.rank == root:
+        if sendbuf is None:
+            raise CommunicatorError("root must supply sendbuf")
+        if sendbuf.shape[0] != size:
+            raise CommunicatorError(
+                f"sendbuf first dimension {sendbuf.shape[0]} != communicator size {size}"
+            )
+        recvbuf[...] = sendbuf[root]
+        for dest in range(size):
+            if dest != root:
+                slot = sendbuf[dest]
+                if not slot.flags.c_contiguous:
+                    raise CommunicatorError("sendbuf slots must be C-contiguous")
+                comm.Send(slot, dest=dest, tag=tag)
+    else:
+        comm.Recv(recvbuf, source=root, tag=tag)
+
+
+def alltoall(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Linear all-to-all exchange; both buffers are ``(size, ...)``
+    shaped, slot ``i`` going to / coming from rank ``i``."""
+    size = comm.size
+    if sendbuf.shape[0] != size or recvbuf.shape[0] != size:
+        raise CommunicatorError("alltoall buffers need a first dimension of comm size")
+    tag = _next_tag(comm)
+    recvbuf[comm.rank] = sendbuf[comm.rank]
+    # Post every receive first, then send in rank order: deadlock-free
+    # for any message size.
+    reqs = [
+        comm.Irecv(recvbuf[src], source=src, tag=tag)
+        for src in range(size)
+        if src != comm.rank
+    ]
+    for dest in range(size):
+        if dest != comm.rank:
+            comm.Send(np.ascontiguousarray(sendbuf[dest]), dest=dest, tag=tag)
+    for req in reqs:
+        req.wait()

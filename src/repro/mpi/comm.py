@@ -1,0 +1,606 @@
+"""The communicator: two-sided point-to-point plus entry points to
+packing, collectives, and one-sided windows.
+
+Method names follow mpi4py's buffer-based (capitalized) API.  Buffers
+are :class:`~repro.mpi.buffers.SimBuffer` or numpy arrays; datatypes
+default to automatic discovery from the array dtype.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..sim.sync import SimCondition
+from .buffers import SimBuffer, as_simbuffer
+from .datatypes import BYTE, Datatype, from_numpy_dtype, pack_bytes, unpack_bytes
+from .datatypes.basic import PACKED, BasicType
+from .datatypes.engine import check_fits
+from .errors import CommunicatorError, TruncationError
+from .matching import PostedRecv
+from .protocol import Payload, SendOperation
+from .request import RecvRequest, Request, SendRequest
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Process, World
+    from .win import Win
+
+__all__ = ["Comm"]
+
+
+class Comm:
+    """A communicator bound to one rank of a simulated world.
+
+    A communicator is a (context id, rank group) pair: ``group[i]`` is
+    the world rank of communicator rank ``i``.  Messages only match
+    within their context (MPI communicator isolation); ``Dup`` and
+    ``Split`` derive new communicators collectively.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        process: "Process",
+        *,
+        context_id: int = 0,
+        group: list[int] | None = None,
+    ):
+        self.world = world
+        self.process = process
+        self.context_id = context_id
+        self._group = group if group is not None else list(range(len(world.processes)))
+        if process.rank not in self._group:
+            raise CommunicatorError(
+                f"world rank {process.rank} is not a member of this communicator"
+            )
+        self._rank = self._group.index(process.rank)
+        self._coll_seq = 0  # collective tag sequence (same order on all ranks)
+        self._derived_seq = 0  # Dup/Split sequence (same order on all ranks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    @property
+    def group(self) -> list[int]:
+        """World ranks of this communicator's members, by comm rank."""
+        return list(self._group)
+
+    def _world_rank(self, comm_rank: int) -> int:
+        return self._group[comm_rank]
+
+    def _comm_rank(self, world_rank: int) -> int:
+        return self._group.index(world_rank)
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def Wtime(self) -> float:
+        """Virtual wall-clock (``MPI_Wtime``)."""
+        return self.process.task.now
+
+    @property
+    def _cost(self):
+        return self.world.cost
+
+    # ------------------------------------------------------------------
+    # Argument resolution
+    # ------------------------------------------------------------------
+    def _resolve(
+        self,
+        buf: SimBuffer | np.ndarray,
+        count: int | None,
+        datatype: Datatype | None,
+    ) -> tuple[SimBuffer, int, Datatype]:
+        """Normalize a (buf, count, datatype) triple.
+
+        Numpy arrays get automatic datatype discovery; a bare
+        :class:`SimBuffer` defaults to BYTE.
+        """
+        if datatype is None:
+            if isinstance(buf, np.ndarray):
+                datatype = from_numpy_dtype(buf.dtype)
+            else:
+                datatype = BYTE
+        sbuf = as_simbuffer(buf)
+        if count is None:
+            if datatype.size == 0:
+                count = 0
+            elif datatype.extent <= 0:
+                raise CommunicatorError(f"cannot infer count for datatype {datatype.name!r}")
+            else:
+                count = sbuf.nbytes // datatype.extent if datatype.extent else 0
+        if count < 0:
+            raise CommunicatorError(f"negative count {count}")
+        datatype.require_committed()
+        if sbuf.materialized:
+            check_fits(datatype, count, sbuf.nbytes, "communication buffer")
+        else:
+            # Virtual buffers still get bounds checking against their size.
+            runs = datatype.flatten(count)
+            if runs and max(r.max_end for r in runs) > sbuf.nbytes:
+                raise CommunicatorError(
+                    f"datatype {datatype.name!r} x{count} exceeds virtual buffer "
+                    f"of {sbuf.nbytes} bytes"
+                )
+        return sbuf, count, datatype
+
+    def _check_peer(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"{what} rank {rank} outside [0, {self.size})")
+
+    @staticmethod
+    def _is_packed(datatype: Datatype) -> bool:
+        return datatype is PACKED
+
+    # ------------------------------------------------------------------
+    # Payload construction (functional side of a send)
+    # ------------------------------------------------------------------
+    def _build_payload(self, sbuf: SimBuffer, count: int, datatype: Datatype) -> Payload:
+        nbytes = datatype.size * count
+        if not sbuf.materialized:
+            return Payload(nbytes, None)
+        data = np.empty(nbytes, dtype=np.uint8)
+        pack_bytes(sbuf.bytes, datatype, count, data)
+        return Payload(nbytes, data)
+
+    # ------------------------------------------------------------------
+    # Sends
+    # ------------------------------------------------------------------
+    def _start_send(
+        self,
+        buf,
+        dest: int,
+        tag: int,
+        count: int | None,
+        datatype: Datatype | None,
+        *,
+        synchronous: bool = False,
+    ) -> SendOperation:
+        """Inline sender-side work shared by Send/Isend/Ssend."""
+        self._check_peer(dest, "destination")
+        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        task = self.process.task
+        cost = self._cost
+        # All inline sender-side costs accumulate into one sleep: the
+        # task does not interact with shared state in between, so the
+        # merged advance is observationally identical and saves two
+        # kernel handoffs per send.
+        delay = cost.call()
+        nbytes = datatype.size * count
+        # Contiguity of the whole transfer, not of one element: count
+        # replicas of a dense-but-padded type are still strided.
+        pattern = datatype.access_pattern(count)
+        derived = not pattern.is_contiguous
+        if derived:
+            # Direct derived-type send: the library stages the data
+            # through internal buffers (section 4.1).
+            delay += cost.staging(pattern, self.process.cache_warm)
+            self.process.touch_caches()
+            self.world.trace("staging", rank=self.rank, nbytes=nbytes,
+                             datatype=datatype.name)
+        payload = self._build_payload(sbuf, count, datatype)
+        delay += cost.send_overhead
+        if not self.world.platform.network.nic_offload and nbytes:
+            # Without NIC offload the core babysits the injection.
+            delay += cost.wire(nbytes)
+        task.sleep(delay)
+        op = SendOperation(
+            self.world,
+            self.process,
+            dest=self._world_rank(dest),
+            tag=tag,
+            payload=payload,
+            packed=self._is_packed(datatype),
+            derived=derived,
+            synchronous=synchronous,
+            context_id=self.context_id,
+        )
+        op.start()
+        return op
+
+    def Send(self, buf, dest: int, tag: int = 0, *, count: int | None = None,
+             datatype: Datatype | None = None) -> None:
+        """Blocking standard-mode send (``MPI_Send``)."""
+        op = self._start_send(buf, dest, tag, count, datatype)
+        op.handle.wait(self.process.task)
+
+    def Ssend(self, buf, dest: int, tag: int = 0, *, count: int | None = None,
+              datatype: Datatype | None = None) -> None:
+        """Blocking synchronous send: completes only after the matching
+        receive starts (``MPI_Ssend``)."""
+        op = self._start_send(buf, dest, tag, count, datatype, synchronous=True)
+        op.handle.wait(self.process.task)
+
+    def Isend(self, buf, dest: int, tag: int = 0, *, count: int | None = None,
+              datatype: Datatype | None = None) -> Request:
+        """Nonblocking standard-mode send (``MPI_Isend``)."""
+        op = self._start_send(buf, dest, tag, count, datatype)
+        return SendRequest(self, op.handle)
+
+    def Bsend(self, buf, dest: int, tag: int = 0, *, count: int | None = None,
+              datatype: Datatype | None = None) -> None:
+        """Buffered send (``MPI_Bsend``): copies through the attached
+        buffer and returns; the transfer progresses in the background at
+        the platform's buffered-send bandwidth derating (section 4.2).
+        """
+        self._check_peer(dest, "destination")
+        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        task = self.process.task
+        cost = self._cost
+        delay = cost.call()
+        nbytes = datatype.size * count
+        attached = self.process.require_attached_buffer()
+        reserved = attached.reserve(nbytes)
+        # Copy (gather, for derived types) into the attached buffer.
+        warm = self.process.cache_warm
+        pattern = datatype.access_pattern(count)
+        if pattern.is_contiguous:
+            delay += cost.memcpy(nbytes, warm)
+        else:
+            delay += cost.gather(pattern, warm)
+        self.process.touch_caches()
+        payload = self._build_payload(sbuf, count, datatype)
+        delay += cost.send_overhead
+        task.sleep(delay)
+        op = SendOperation(
+            self.world,
+            self.process,
+            dest=self._world_rank(dest),
+            tag=tag,
+            payload=payload,
+            packed=False,   # on the wire the message is a dense buffer copy
+            derived=False,
+            wire_factor=cost.bsend_factor(nbytes),
+            on_buffer_free=lambda: attached.release(reserved),
+            context_id=self.context_id,
+        )
+        op.start()
+        self.world.trace("bsend", rank=self.rank, dest=dest, nbytes=nbytes,
+                         reserved=reserved)
+
+    # ------------------------------------------------------------------
+    # Receives
+    # ------------------------------------------------------------------
+    def _post_receive(self, buf, source: int, tag: int, count: int | None,
+                      datatype: Datatype | None):
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+            source = self._world_rank(source)
+        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        self.process.task.sleep(self._cost.call())
+        cond = SimCondition(self.world.kernel, f"recv@{self.process.rank}")
+        rec = PostedRecv(source, tag, datatype.size * count, cond,
+                         context_id=self.context_id)
+        self.process.inbox.post(rec)
+        return rec, sbuf, count, datatype
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+             count: int | None = None, datatype: Datatype | None = None) -> Status:
+        """Blocking receive (``MPI_Recv``)."""
+        rec, sbuf, count, datatype = self._post_receive(buf, source, tag, count, datatype)
+        task = self.process.task
+        while rec.message is None:
+            rec.cond.wait(task, reason=f"Recv(src={source},tag={tag})")
+        msg = rec.message
+        if not msg.eager:
+            msg.operation.grant_cts()
+        return self._finish_receive(rec, sbuf, count, datatype)
+
+    def Irecv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+              count: int | None = None, datatype: Datatype | None = None) -> RecvRequest:
+        """Nonblocking receive (``MPI_Irecv``)."""
+        rec, sbuf, count, datatype = self._post_receive(buf, source, tag, count, datatype)
+        req = RecvRequest(self, rec, sbuf, count, datatype)
+        req._grant_cts_if_needed()
+        return req
+
+    def _finish_receive(self, rec: PostedRecv, sbuf: SimBuffer, count: int,
+                        datatype: Datatype) -> Status:
+        """Completion path shared by Recv and RecvRequest.
+
+        Preconditions: ``rec.message`` is set and, for rendezvous, the
+        CTS has been granted.
+        """
+        msg = rec.message
+        assert msg is not None
+        task = self.process.task
+        cost = self._cost
+        capacity = datatype.size * count
+        if msg.nbytes > capacity:
+            raise TruncationError(
+                f"message of {msg.nbytes} bytes truncated by a "
+                f"{capacity}-byte receive (source {msg.source}, tag {msg.tag})"
+            )
+        warm = self.process.cache_warm
+        recv_pattern = datatype.access_pattern(count)
+        if msg.eager:
+            assert msg.arrival_time is not None
+            task.wait_until(msg.arrival_time)
+            # The bounce buffer is a small, recently-written internal
+            # buffer: the copy out of it runs at cache speed.
+            if recv_pattern.is_contiguous:
+                copy_out = cost.eager_bounce(msg.nbytes, warm=True)
+            else:
+                # Copy out of the bounce buffer straight into the
+                # non-contiguous layout.
+                copy_out = cost.scatter(recv_pattern, warm=True)
+        else:
+            while not msg.data_arrived:
+                assert msg.data_cond is not None
+                msg.data_cond.wait(task, reason="Recv(data)")
+            copy_out = 0.0
+            if not recv_pattern.is_contiguous:
+                # Rendezvous lands in library buffers when the receive
+                # type is derived; unstage into place.
+                copy_out = cost.unstaging(recv_pattern, warm)
+        task.sleep(copy_out + cost.recv_overhead)
+        self._apply_payload(msg, sbuf, datatype)
+        # Note: receiving does NOT mark the cache warm — the warm flag
+        # tracks whether *this* rank's benchmark source data was
+        # recently streamed (flush ablation, section 4.6); landing a
+        # message touches different memory.
+        self.world.trace("recv.complete", rank=self.process.rank, source=msg.source,
+                         tag=msg.tag, nbytes=msg.nbytes, eager=msg.eager)
+        return Status(source=self._comm_rank(msg.source), tag=msg.tag, nbytes=msg.nbytes)
+
+    def _apply_payload(self, msg, sbuf: SimBuffer, datatype: Datatype) -> None:
+        """Functional data movement of a completed receive."""
+        if msg.payload.data is None or not sbuf.materialized:
+            return
+        if datatype.size == 0 or msg.nbytes == 0:
+            return
+        nelems = msg.nbytes // datatype.size
+        if nelems:
+            unpack_bytes(msg.payload.data, 0, sbuf.bytes, datatype, nelems)
+
+    # ------------------------------------------------------------------
+    # Combined / probing
+    # ------------------------------------------------------------------
+    def Sendrecv(self, sendbuf, dest: int, recvbuf, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG, *,
+                 sendcount: int | None = None, senddatatype: Datatype | None = None,
+                 recvcount: int | None = None, recvdatatype: Datatype | None = None) -> Status:
+        """``MPI_Sendrecv``: deadlock-free combined send and receive."""
+        req = self.Irecv(recvbuf, source, recvtag, count=recvcount, datatype=recvdatatype)
+        self.Send(sendbuf, dest, sendtag, count=sendcount, datatype=senddatatype)
+        status = req.wait()
+        assert status is not None
+        return status
+
+    def Send_init(self, buf, dest: int, tag: int = 0, *, count: int | None = None,
+                  datatype: Datatype | None = None):
+        """``MPI_Send_init``: a persistent send request (use ``Start``)."""
+        from .persistent import PersistentSendRequest
+
+        return PersistentSendRequest(self, buf, dest, tag, count, datatype)
+
+    def Recv_init(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+                  count: int | None = None, datatype: Datatype | None = None):
+        """``MPI_Recv_init``: a persistent receive request."""
+        from .persistent import PersistentRecvRequest
+
+        return PersistentRecvRequest(self, buf, source, tag, count, datatype)
+
+    def Sendrecv_replace(self, buf, dest: int, source: int,
+                         sendtag: int = 0, recvtag: int = ANY_TAG, *,
+                         count: int | None = None,
+                         datatype: Datatype | None = None) -> Status:
+        """``MPI_Sendrecv_replace``: exchange in place through an
+        internal temporary (whose copy is priced)."""
+        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        nbytes = datatype.size * count
+        # Stage the outgoing data into a library temporary.
+        self.process.task.sleep(self._cost.memcpy(nbytes, self.process.cache_warm))
+        if sbuf.materialized:
+            staged = SimBuffer.alloc(nbytes, zero=False)
+            pack_bytes(sbuf.bytes, datatype, count, staged.bytes)
+        else:
+            staged = SimBuffer.virtual(nbytes)
+        req = self.Irecv(sbuf, source, recvtag, count=count, datatype=datatype)
+        self.Send(staged, dest, sendtag, count=nbytes, datatype=BYTE)
+        status = req.wait()
+        assert status is not None
+        return status
+
+    def Probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: returns the envelope of the first matching
+        pending message without receiving it."""
+        task = self.process.task
+        task.sleep(self._cost.call())
+        inbox = self.process.inbox
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        while True:
+            msg = inbox.probe(world_source, tag, self.context_id)
+            if msg is not None:
+                return Status(source=self._comm_rank(msg.source), tag=msg.tag,
+                              nbytes=msg.nbytes)
+            self.process.arrival_cond.wait(task, reason=f"Probe(src={source},tag={tag})")
+
+    def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[bool, Status | None]:
+        """Nonblocking probe."""
+        self.process.task.sleep(self._cost.call())
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        msg = self.process.inbox.probe(world_source, tag, self.context_id)
+        if msg is None:
+            return False, None
+        return True, Status(source=self._comm_rank(msg.source), tag=msg.tag, nbytes=msg.nbytes)
+
+    # ------------------------------------------------------------------
+    # Buffered-send buffer management
+    # ------------------------------------------------------------------
+    def Buffer_attach(self, nbytes: int) -> None:
+        """Attach a buffered-send buffer (``MPI_Buffer_attach``)."""
+        self.process.attach_buffer(nbytes)
+        self.process.task.sleep(self._cost.call())
+
+    def Buffer_detach(self) -> int:
+        """Detach the buffered-send buffer; returns its capacity."""
+        self.process.task.sleep(self._cost.call())
+        return self.process.detach_buffer()
+
+    # ------------------------------------------------------------------
+    # Delegated subsystems (implemented in sibling modules)
+    # ------------------------------------------------------------------
+    def Pack(self, inbuf, incount: int, datatype: Datatype, outbuf, position: int) -> int:
+        from .pack import pack as _pack
+
+        return _pack(self, inbuf, incount, datatype, outbuf, position)
+
+    def Unpack(self, inbuf, position: int, outbuf, outcount: int, datatype: Datatype) -> int:
+        from .pack import unpack as _unpack
+
+        return _unpack(self, inbuf, position, outbuf, outcount, datatype)
+
+    def Pack_size(self, incount: int, datatype: Datatype) -> int:
+        from .pack import pack_size as _pack_size
+
+        return _pack_size(self, incount, datatype)
+
+    def pack_elements_bulk(self, inbuf, incount: int, datatype: Datatype, outbuf,
+                           position: int) -> int:
+        from .pack import pack_elements_bulk as _bulk
+
+        return _bulk(self, inbuf, incount, datatype, outbuf, position)
+
+    def Win_create(self, buffer: SimBuffer | np.ndarray | None) -> "Win":
+        from .win import Win
+
+        return Win.create(self, buffer)
+
+    def Barrier(self) -> None:
+        from .collectives import barrier
+
+        barrier(self)
+
+    def Bcast(self, buf, root: int = 0, *, count: int | None = None,
+              datatype: Datatype | None = None) -> None:
+        from .collectives import bcast
+
+        bcast(self, buf, root, count=count, datatype=datatype)
+
+    def Reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0) -> None:
+        from .collectives import reduce
+
+        reduce(self, sendbuf, recvbuf, op, root)
+
+    def Allreduce(self, sendbuf, recvbuf, op: str = "sum") -> None:
+        from .collectives import allreduce
+
+        allreduce(self, sendbuf, recvbuf, op)
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        from .collectives import gather
+
+        gather(self, sendbuf, recvbuf, root)
+
+    def Allgather(self, sendbuf, recvbuf) -> None:
+        from .collectives import allgather
+
+        allgather(self, sendbuf, recvbuf)
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        from .collectives import scatter
+
+        scatter(self, sendbuf, recvbuf, root)
+
+    def Alltoall(self, sendbuf, recvbuf) -> None:
+        from .collectives import alltoall
+
+        alltoall(self, sendbuf, recvbuf)
+
+    def Scan(self, sendbuf, recvbuf, op: str = "sum") -> None:
+        from .collectives import scan
+
+        scan(self, sendbuf, recvbuf, op)
+
+    def Exscan(self, sendbuf, recvbuf, op: str = "sum") -> None:
+        from .collectives import exscan
+
+        exscan(self, sendbuf, recvbuf, op)
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+    def Dup(self) -> "Comm":
+        """``MPI_Comm_dup``: same group, fresh communication context.
+
+        Collective; traffic on the duplicate never matches receives on
+        the parent (and vice versa).
+        """
+        seq = self._derived_seq
+        self._derived_seq += 1
+        cid = self.world.context_for(("dup", self.context_id, seq))
+        self.Barrier()
+        return Comm(self.world, self.process, context_id=cid, group=self._group)
+
+    def Split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """``MPI_Comm_split``: partition by ``color``, order by
+        ``(key, parent rank)``.
+
+        Collective over the parent.  Ranks passing ``color=None``
+        (``MPI_UNDEFINED``) get ``None`` back.
+        """
+        seq = self._derived_seq
+        self._derived_seq += 1
+        table = self.world.split_registry.setdefault((self.context_id, seq), {})
+        table[self.rank] = (color, key)
+        self.Barrier()  # all members have registered after this
+        if color is None:
+            return None
+        members = sorted(
+            (k, parent_rank)
+            for parent_rank, (c, k) in table.items()
+            if c == color
+        )
+        group = [self._group[parent_rank] for _, parent_rank in members]
+        cid = self.world.context_for(("split", self.context_id, seq, color))
+        return Comm(self.world, self.process, context_id=cid, group=group)
+
+    # ------------------------------------------------------------------
+    # User-space copy helpers (the manual-copy benchmark scheme)
+    # ------------------------------------------------------------------
+    def user_gather(self, src, datatype: Datatype, count: int, dst,
+                    dst_offset: int = 0) -> None:
+        """A user-coded gather loop: ``count`` elements of ``datatype``
+        from ``src`` into contiguous ``dst``.  Charges the copy-loop
+        cost (section 2.2) and performs the byte movement."""
+        src_b = as_simbuffer(src)
+        dst_b = as_simbuffer(dst)
+        datatype.require_committed()
+        pattern = datatype.access_pattern(count)
+        self.process.task.sleep(self._cost.gather(pattern, self.process.cache_warm))
+        self.process.touch_caches()
+        if src_b.materialized and dst_b.materialized:
+            pack_bytes(src_b.bytes, datatype, count, dst_b.bytes, dst_offset)
+
+    def user_scatter(self, src, src_offset: int, dst, datatype: Datatype,
+                     count: int) -> None:
+        """Mirror of :meth:`user_gather`: contiguous to strided."""
+        src_b = as_simbuffer(src)
+        dst_b = as_simbuffer(dst)
+        datatype.require_committed()
+        pattern = datatype.access_pattern(count)
+        self.process.task.sleep(self._cost.scatter(pattern, self.process.cache_warm))
+        self.process.touch_caches()
+        if src_b.materialized and dst_b.materialized:
+            unpack_bytes(src_b.bytes, src_offset, dst_b.bytes, datatype, count)
+
+    def flush_caches(self, nbytes: int = 50_000_000) -> None:
+        """Rewrite an ``nbytes`` scratch array, evicting the caches —
+        the paper's inter-ping-pong flush (section 3.2)."""
+        self.process.task.sleep(self._cost.flush(nbytes))
+        self.process.cache_warm = False
+        self.world.trace("flush", rank=self.rank, nbytes=nbytes)

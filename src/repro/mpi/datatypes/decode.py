@@ -1,0 +1,115 @@
+"""Datatype decoding: reconstruct a type from its envelope/contents.
+
+The MPI-3 introspection loop — ``Get_envelope`` to learn the combiner,
+``Get_contents`` to fetch the constructor arguments, recurse — is what
+tools (tracers, datatype visualizers) use to understand foreign types.
+:func:`reconstruct` closes the loop: rebuilding any datatype from its
+decode information must produce an equivalent layout, which is also a
+strong self-test of the decode data (pinned by
+``tests/mpi/test_decode.py``).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatatypeError
+from .basic import BASIC_TYPES
+from .contiguous import ContiguousType
+from .datatype import Datatype
+from .indexed import HIndexedType, IndexedBlockType, IndexedType
+from .resized import ResizedType
+from .struct import StructType
+from .subarray import SubarrayType
+from .vector import HVectorType, VectorType
+
+__all__ = ["reconstruct", "describe"]
+
+
+def reconstruct(dtype: Datatype) -> Datatype:
+    """Rebuild an equivalent datatype from decode information only.
+
+    The result is committed iff the input was; basic (named) types are
+    returned as the canonical singletons.
+    """
+    combiner = dtype.get_envelope()
+    contents = dtype.get_contents()
+    if combiner == "named":
+        try:
+            out: Datatype = BASIC_TYPES[contents["name"]]
+        except KeyError:
+            raise DatatypeError(f"unknown named type {contents['name']!r}") from None
+    elif combiner == "dup":
+        out = reconstruct(contents["oldtype"]).dup()
+    elif combiner == "contiguous":
+        out = ContiguousType(contents["count"], reconstruct(contents["oldtype"]))
+    elif combiner == "vector":
+        out = VectorType(
+            contents["count"], contents["blocklength"], contents["stride"],
+            reconstruct(contents["oldtype"]),
+        )
+    elif combiner == "hvector":
+        out = HVectorType(
+            contents["count"], contents["blocklength"], contents["stride_bytes"],
+            reconstruct(contents["oldtype"]),
+        )
+    elif combiner == "indexed":
+        out = IndexedType(
+            contents["blocklengths"], contents["displacements"],
+            reconstruct(contents["oldtype"]),
+        )
+    elif combiner == "hindexed":
+        out = HIndexedType(
+            contents["blocklengths"], contents["byte_displacements"],
+            reconstruct(contents["oldtype"]),
+        )
+    elif combiner == "indexed_block":
+        out = IndexedBlockType(
+            contents["blocklength"], contents["displacements"],
+            reconstruct(contents["oldtype"]),
+        )
+    elif combiner == "struct":
+        out = StructType(
+            contents["blocklengths"], contents["displacements"],
+            [reconstruct(t) for t in contents["types"]],
+        )
+    elif combiner == "subarray":
+        out = SubarrayType(
+            contents["sizes"], contents["subsizes"], contents["starts"],
+            reconstruct(contents["oldtype"]), contents["order"],
+        )
+    elif combiner == "resized":
+        out = ResizedType(
+            reconstruct(contents["oldtype"]), contents["lb"], contents["extent"]
+        )
+    else:
+        raise DatatypeError(f"cannot reconstruct combiner {combiner!r}")
+    if dtype.committed and not out.committed:
+        out.commit()
+    return out
+
+
+def describe(dtype: Datatype, *, indent: int = 0) -> str:
+    """A human-readable recursive description of a datatype tree."""
+    pad = "  " * indent
+    combiner = dtype.get_envelope()
+    if combiner == "named":
+        return f"{pad}{dtype.name}"
+    contents = dtype.get_contents()
+    header = (
+        f"{pad}{combiner} (size={dtype.size}B, extent={dtype.extent}B"
+        f"{', committed' if dtype.committed else ''})"
+    )
+    lines = [header]
+    for key, value in contents.items():
+        if isinstance(value, Datatype):
+            lines.append(f"{pad}  {key}:")
+            lines.append(describe(value, indent=indent + 2))
+        elif isinstance(value, list) and value and isinstance(value[0], Datatype):
+            lines.append(f"{pad}  {key}:")
+            for item in value:
+                lines.append(describe(item, indent=indent + 2))
+        else:
+            shown = value
+            if isinstance(value, list) and len(value) > 8:
+                shown = f"[{value[0]}, {value[1]}, ... {len(value)} entries]"
+            lines.append(f"{pad}  {key}: {shown}")
+    return "\n".join(lines)

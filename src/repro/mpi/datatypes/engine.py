@@ -1,0 +1,101 @@
+"""The pack/unpack engine: real byte movement through any datatype.
+
+Operates on raw ``uint8`` numpy arrays.  Communication, ``MPI_Pack``,
+one-sided transfers, and the manual-copy benchmark scheme all funnel
+through these two functions, so datatype correctness is tested in one
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatatypeError, PackError
+from .datatype import Datatype
+
+__all__ = ["pack_bytes", "unpack_bytes", "check_fits"]
+
+
+def _as_bytes(buf: np.ndarray, name: str) -> np.ndarray:
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"{name} must be a numpy array, got {type(buf).__name__}")
+    if buf.dtype != np.uint8:
+        if not buf.flags.c_contiguous:
+            raise DatatypeError(f"{name} must be C-contiguous to be reinterpreted as bytes")
+        buf = buf.view(np.uint8).reshape(-1)
+    if buf.ndim != 1:
+        buf = buf.reshape(-1)
+    return buf
+
+
+def check_fits(dtype: Datatype, count: int, buf_bytes: int, name: str) -> None:
+    """Validate that ``count`` elements of ``dtype`` fit inside a buffer
+    of ``buf_bytes`` bytes (checking true bounds, not just size)."""
+    runs = dtype.flatten(count)
+    if not runs:
+        return
+    lo = min(r.min_offset for r in runs)
+    hi = max(r.max_end for r in runs)
+    if lo < 0:
+        raise DatatypeError(
+            f"{name}: datatype {dtype.name!r} x{count} reaches {-lo} bytes before buffer start"
+        )
+    if hi > buf_bytes:
+        raise DatatypeError(
+            f"{name}: datatype {dtype.name!r} x{count} reaches byte {hi} "
+            f"but the buffer holds only {buf_bytes}"
+        )
+
+
+def pack_bytes(
+    src: np.ndarray,
+    dtype: Datatype,
+    count: int,
+    dst: np.ndarray,
+    dst_offset: int = 0,
+) -> int:
+    """Gather ``count`` elements of ``dtype`` from ``src`` into the
+    contiguous region of ``dst`` starting at ``dst_offset``.
+
+    Returns the number of bytes written (``dtype.size * count``).
+    """
+    src_b = _as_bytes(src, "src")
+    dst_b = _as_bytes(dst, "dst")
+    total = dtype.pack_size(count)
+    if dst_offset < 0 or dst_offset + total > dst_b.size:
+        raise PackError(
+            f"pack of {total} bytes at offset {dst_offset} overflows "
+            f"{dst_b.size}-byte destination"
+        )
+    check_fits(dtype, count, src_b.size, "pack")
+    written = dst_offset
+    for run in dtype.flatten(count):
+        written += run.gather(src_b, dst_b, written)
+    return written - dst_offset
+
+
+def unpack_bytes(
+    src: np.ndarray,
+    src_offset: int,
+    dst: np.ndarray,
+    dtype: Datatype,
+    count: int,
+) -> int:
+    """Scatter packed bytes from ``src`` (starting at ``src_offset``)
+    into ``count`` elements of ``dtype`` inside ``dst``.
+
+    Returns the number of bytes consumed.
+    """
+    src_b = _as_bytes(src, "src")
+    dst_b = _as_bytes(dst, "dst")
+    total = dtype.pack_size(count)
+    if src_offset < 0 or src_offset + total > src_b.size:
+        raise PackError(
+            f"unpack of {total} bytes at offset {src_offset} overruns "
+            f"{src_b.size}-byte source"
+        )
+    check_fits(dtype, count, dst_b.size, "unpack")
+    consumed = src_offset
+    for run in dtype.flatten(count):
+        consumed += run.scatter(src_b, consumed, dst_b)
+    return consumed - src_offset

@@ -1,0 +1,66 @@
+"""Exception hierarchy of the simulated MPI library.
+
+Mirrors the MPI error classes that matter for this study; everything
+derives from :class:`MpiError` so user code can catch broadly, the way
+``MPI_ERRORS_ARE_FATAL``-averse codes wrap real MPI calls.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiError",
+    "DatatypeError",
+    "UncommittedDatatypeError",
+    "FreedDatatypeError",
+    "TruncationError",
+    "BufferError_",
+    "WindowError",
+    "PackError",
+    "CommunicatorError",
+    "RequestError",
+]
+
+
+class MpiError(Exception):
+    """Base class for simulated-MPI errors (MPI_ERR_*)."""
+
+
+class DatatypeError(MpiError):
+    """Invalid datatype construction or use (MPI_ERR_TYPE)."""
+
+
+class UncommittedDatatypeError(DatatypeError):
+    """A derived datatype was used in communication before
+    ``Commit()`` — an MPI usage error that real implementations also
+    reject."""
+
+
+class FreedDatatypeError(DatatypeError):
+    """A datatype handle was used after ``Free()``."""
+
+
+class TruncationError(MpiError):
+    """Receive buffer smaller than the matched message
+    (MPI_ERR_TRUNCATE)."""
+
+
+class BufferError_(MpiError):
+    """Attached-buffer exhaustion or misuse (MPI_ERR_BUFFER), e.g.
+    ``Bsend`` without ``Buffer_attach`` or beyond its capacity."""
+
+
+class WindowError(MpiError):
+    """One-sided window misuse (MPI_ERR_WIN), e.g. ``Put`` outside an
+    access epoch or beyond the window bounds."""
+
+
+class PackError(MpiError):
+    """Pack/unpack buffer overflow or position misuse (MPI_ERR_PACK)."""
+
+
+class CommunicatorError(MpiError):
+    """Invalid rank/tag/communicator arguments (MPI_ERR_RANK et al.)."""
+
+
+class RequestError(MpiError):
+    """Invalid request handle operations (MPI_ERR_REQUEST)."""

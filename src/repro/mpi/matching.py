@@ -1,0 +1,116 @@
+"""Message matching: posted-receive and unexpected-message queues.
+
+Implements MPI's matching semantics: a receive matches the earliest
+arrived message with a compatible (source, tag) — wildcards allowed on
+the receive side only — and messages between a given pair are
+non-overtaking because arrivals are processed in virtual-time order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..sim.sync import SimCondition
+from .status import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .protocol import TransitMessage
+
+__all__ = ["PostedRecv", "Inbox"]
+
+
+class PostedRecv:
+    """One posted (pending) receive.
+
+    ``source`` is a *world* rank (or ``ANY_SOURCE``); ``context_id``
+    scopes matching to one communicator, never wildcarded (MPI rule).
+    """
+
+    __slots__ = ("source", "tag", "capacity", "cond", "message", "context_id")
+
+    def __init__(self, source: int, tag: int, capacity: int, cond: SimCondition,
+                 context_id: int = 0):
+        self.source = source
+        self.tag = tag
+        self.capacity = capacity
+        self.cond = cond
+        self.message: "TransitMessage | None" = None
+        self.context_id = context_id
+
+    def accepts(self, message: "TransitMessage") -> bool:
+        return (
+            self.context_id == getattr(message, "context_id", 0)
+            and (self.source in (ANY_SOURCE, message.source))
+            and (self.tag in (ANY_TAG, message.tag))
+        )
+
+    @property
+    def matched(self) -> bool:
+        return self.message is not None
+
+
+class Inbox:
+    """Per-process matching engine.
+
+    ``on_message`` runs in kernel context when a message (eager payload
+    or rendezvous RTS) arrives; ``post`` runs in the receiving task.
+    Exactly one of the two sides finds the other.
+    """
+
+    def __init__(self) -> None:
+        self.unexpected: deque["TransitMessage"] = deque()
+        self.posted: deque[PostedRecv] = deque()
+
+    # ------------------------------------------------------------------
+    def on_message(self, message: "TransitMessage") -> None:
+        """Arrival path: match the earliest compatible posted receive,
+        else queue as unexpected."""
+        for i, rec in enumerate(self.posted):
+            if rec.accepts(message):
+                del self.posted[i]
+                rec.message = message
+                self._progress(message)
+                rec.cond.notify_all()
+                return
+        self.unexpected.append(message)
+
+    def post(self, rec: PostedRecv) -> None:
+        """Receive path: match the earliest compatible unexpected
+        message, else enqueue the receive.  On a hit, ``rec.message``
+        is set before returning."""
+        for i, message in enumerate(self.unexpected):
+            if rec.accepts(message):
+                del self.unexpected[i]
+                rec.message = message
+                self._progress(message)
+                return
+        self.posted.append(rec)
+
+    @staticmethod
+    def _progress(message: "TransitMessage") -> None:
+        """The progress engine's part of a match: a rendezvous RTS gets
+        its clear-to-send immediately, whether or not the receiving task
+        is blocked in a wait."""
+        if not message.eager:
+            message.operation.grant_cts()
+
+    # ------------------------------------------------------------------
+    def probe(self, source: int, tag: int, context_id: int = 0) -> "TransitMessage | None":
+        """First unexpected message matching, not removed."""
+        for message in self.unexpected:
+            if (
+                getattr(message, "context_id", 0) == context_id
+                and (source in (ANY_SOURCE, message.source))
+                and (tag in (ANY_TAG, message.tag))
+            ):
+                return message
+        return None
+
+    @property
+    def pending_unexpected(self) -> int:
+        return len(self.unexpected)
+
+    @property
+    def pending_posted(self) -> int:
+        return len(self.posted)

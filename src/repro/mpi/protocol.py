@@ -1,0 +1,258 @@
+"""Two-sided transfer protocol: eager and rendezvous state machines.
+
+Timing model (section 3.2 of the paper, LogGP-flavoured):
+
+Eager (``nbytes <= eager limit``)
+    sender:   [call + staging/pack] + send_overhead, then free
+    receiver: data arrives at ``t_inject + latency + wire(n)``; matching
+    copies it out of the bounce buffer (``eager_bounce``) and charges
+    ``recv_overhead``.
+
+Rendezvous (``nbytes > eager limit``)
+    sender:   injects an RTS (one latency), blocks for the CTS, then
+    pushes the payload (``wire(n) / factor``) and completes; the payload
+    lands one latency later, straight into the user buffer (no bounce).
+    The CTS leaves the receiver when the matching receive is posted.
+
+The sender side is *callback-driven* (a :class:`SendOperation` advanced
+by kernel events), so blocking sends, nonblocking sends, and buffered
+sends — whose transfer outlives the ``Bsend`` call — all share one
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..sim.sync import SimCondition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Process, World
+
+__all__ = ["Payload", "TransitMessage", "SendHandle", "SendOperation"]
+
+
+class Payload:
+    """Bytes on the wire: a packed snapshot, or virtual (size only)."""
+
+    __slots__ = ("nbytes", "data")
+
+    def __init__(self, nbytes: int, data: np.ndarray | None):
+        if data is not None and data.size != nbytes:
+            raise ValueError(f"payload data holds {data.size} bytes, expected {nbytes}")
+        self.nbytes = nbytes
+        self.data = data
+
+    @property
+    def materialized(self) -> bool:
+        return self.data is not None
+
+
+class SendHandle:
+    """Completion object for the sender side.
+
+    ``done`` flips at the virtual instant the send buffer becomes
+    reusable (eager: after injection; rendezvous: after the push).
+    """
+
+    def __init__(self, world: "World", label: str):
+        self._world = world
+        self.label = label
+        self.done = False
+        self.complete_time: float | None = None
+        self.cond = SimCondition(world.kernel, f"send-done:{label}")
+
+    def _complete_at(self, time: float) -> None:
+        """Schedule completion at virtual ``time`` (kernel or task ctx).
+
+        A completion that is already due fires synchronously so that,
+        e.g., an eager ``Isend`` tests as done immediately — the buffer
+        really is reusable the moment the call returns."""
+        now = self._world.kernel.now
+        if time <= now:
+            self._finish(now)
+        else:
+            self._world.kernel.call_later(time - now, self._finish, time)
+
+    def _finish(self, time: float) -> None:
+        self.done = True
+        self.complete_time = time
+        self.cond.notify_all()
+
+    def wait(self, task) -> None:
+        """Block the calling task until the send completes."""
+        while not self.done:
+            self.cond.wait(task, reason=f"wait({self.label})")
+
+
+class TransitMessage:
+    """What the receiver's inbox matches on: either a complete eager
+    message or a rendezvous RTS."""
+
+    __slots__ = (
+        "source",
+        "dest",
+        "tag",
+        "context_id",
+        "nbytes",
+        "payload",
+        "eager",
+        "arrival_time",
+        "operation",
+        "data_arrived",
+        "data_cond",
+        "synchronous",
+    )
+
+    def __init__(
+        self,
+        *,
+        source: int,
+        dest: int,
+        tag: int,
+        nbytes: int,
+        payload: Payload,
+        eager: bool,
+        operation: "SendOperation",
+        synchronous: bool = False,
+        context_id: int = 0,
+    ):
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.context_id = context_id
+        self.nbytes = nbytes
+        self.payload = payload
+        self.eager = eager
+        self.arrival_time: float | None = None  # eager: payload arrival
+        self.operation = operation
+        self.data_arrived = False  # rendezvous: payload landed
+        self.data_cond: SimCondition | None = None
+        self.synchronous = synchronous
+
+
+class SendOperation:
+    """One sender-side transfer; see module docstring.
+
+    Parameters
+    ----------
+    wire_factor:
+        Bandwidth derating for the payload push (buffered sends,
+        one-sided emulation).
+    on_buffer_free:
+        Callback fired when the internal copy of the message no longer
+        occupies library buffers — releases ``Bsend`` reservations.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        proc: "Process",
+        *,
+        dest: int,
+        tag: int,
+        payload: Payload,
+        packed: bool,
+        derived: bool,
+        wire_factor: float = 1.0,
+        synchronous: bool = False,
+        on_buffer_free: Callable[[], None] | None = None,
+        context_id: int = 0,
+    ):
+        self.world = world
+        self.proc = proc
+        self.dest = dest
+        self.tag = tag
+        self.payload = payload
+        self.wire_factor = wire_factor
+        self.on_buffer_free = on_buffer_free
+        self.cts_granted = False
+        cost = world.cost
+        self.eager = cost.uses_eager(payload.nbytes, packed=packed, derived=derived)
+        if synchronous:
+            # Ssend semantics: completion requires the matching receive,
+            # i.e. always take the handshaking path.
+            self.eager = False
+        self.handle = SendHandle(world, f"send->{dest} tag={tag} n={payload.nbytes}")
+        self.message = TransitMessage(
+            source=proc.rank,
+            dest=dest,
+            tag=tag,
+            nbytes=payload.nbytes,
+            payload=payload,
+            eager=self.eager,
+            operation=self,
+            synchronous=synchronous,
+            context_id=context_id,
+        )
+        self.message.data_cond = SimCondition(world.kernel, f"data:{proc.rank}->{dest}")
+
+    # ------------------------------------------------------------------
+    def start(self) -> SendHandle:
+        """Inject the message.  Called from the sending task *after*
+        inline costs (call overhead, staging/packing, send overhead)
+        have been charged; all further progress is event-driven.
+        """
+        world = self.world
+        cost = world.cost
+        now = world.kernel.now
+        if self.eager:
+            arrival = now + cost.latency + cost.wire(self.payload.nbytes, factor=self.wire_factor)
+            self.message.arrival_time = arrival
+            world.trace("send.eager", src=self.proc.rank, dest=self.dest, tag=self.tag,
+                        nbytes=self.payload.nbytes, arrival=arrival)
+            world.kernel.call_later(arrival - now, self._deliver)
+            # Buffer reusable immediately: eager copies into library
+            # buffers at injection.
+            self.handle._complete_at(now)
+            if self.on_buffer_free is not None:
+                world.kernel.call_later(arrival - now, self.on_buffer_free)
+        else:
+            world.trace("send.rts", src=self.proc.rank, dest=self.dest, tag=self.tag,
+                        nbytes=self.payload.nbytes)
+            world.kernel.call_later(cost.latency, self._deliver)
+        return self.handle
+
+    def _deliver(self) -> None:
+        """Kernel context: the eager payload / the RTS reaches the
+        destination's matching engine."""
+        self.world.processes[self.dest].deliver(self.message)
+
+    def grant_cts(self) -> None:
+        """The receive side matched the RTS: grant the clear-to-send.
+
+        Called by the matching engine at match time (the simulated
+        progress engine), so rendezvous transfers overlap with whatever
+        the receiving task does between ``Irecv`` and ``wait``.
+        Idempotent: the CTS leaves once.  The CTS takes one latency to
+        reach the sender, after which the push starts.
+        """
+        if self.cts_granted:
+            return
+        self.cts_granted = True
+        cost = self.world.cost
+        self.world.trace("send.cts", src=self.proc.rank, dest=self.dest, tag=self.tag)
+        self.world.kernel.call_later(cost.latency, self._on_cts)
+
+    def _on_cts(self) -> None:
+        """Kernel context, at CTS arrival: push the payload."""
+        world = self.world
+        cost = world.cost
+        now = world.kernel.now
+        push = cost.rendezvous_overhead + cost.wire(self.payload.nbytes, factor=self.wire_factor)
+        done = now + push
+        arrival = done + cost.latency
+        world.trace("send.push", src=self.proc.rank, dest=self.dest,
+                    nbytes=self.payload.nbytes, done=done, arrival=arrival)
+        self.handle._complete_at(done)
+        if self.on_buffer_free is not None:
+            world.kernel.call_later(max(0.0, done - now), self.on_buffer_free)
+        world.kernel.call_later(arrival - now, self._data_landed)
+
+    def _data_landed(self) -> None:
+        """Kernel context: rendezvous payload is in the user buffer."""
+        self.message.data_arrived = True
+        assert self.message.data_cond is not None
+        self.message.data_cond.notify_all()

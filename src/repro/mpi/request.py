@@ -1,0 +1,120 @@
+"""Nonblocking request objects (``MPI_Request``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .matching import PostedRecv
+from .protocol import SendHandle
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "wait_all"]
+
+
+class Request:
+    """Base request: :meth:`wait` blocks, :meth:`test` polls."""
+
+    def wait(self) -> Status | None:
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Status | None]:
+        raise NotImplementedError
+
+    # mpi4py-style aliases
+    def Wait(self) -> Status | None:
+        return self.wait()
+
+    def Test(self) -> tuple[bool, Status | None]:
+        return self.test()
+
+
+class SendRequest(Request):
+    """Completion of an ``Isend``/``Ibsend``; no status payload."""
+
+    def __init__(self, comm: "Comm", handle: SendHandle):
+        self._comm = comm
+        self._handle = handle
+        self._done = False
+
+    def wait(self) -> None:
+        if self._done:
+            return None
+        self._handle.wait(self._comm.process.task)
+        self._done = True
+        return None
+
+    def test(self) -> tuple[bool, None]:
+        if self._handle.done:
+            self._done = True
+        return self._done, None
+
+
+class RecvRequest(Request):
+    """Completion of an ``Irecv``.
+
+    The receive-side completion work (bounce copy, scatter, payload
+    application) runs inside :meth:`wait`/the successful :meth:`test`,
+    in the calling task's virtual time — the simulated analogue of MPI
+    progress occurring in the blocking call.
+    """
+
+    def __init__(self, comm: "Comm", rec: PostedRecv, buf, count: int, datatype):
+        self._comm = comm
+        self._rec = rec
+        self._buf = buf
+        self._count = count
+        self._datatype = datatype
+        self._cts_granted = False
+        self._status: Status | None = None
+        self._done = False
+
+    # ------------------------------------------------------------------
+    def _grant_cts_if_needed(self) -> None:
+        msg = self._rec.message
+        if msg is not None and not msg.eager and not self._cts_granted:
+            msg.operation.grant_cts()
+            self._cts_granted = True
+
+    def wait(self) -> Status:
+        if self._done:
+            assert self._status is not None
+            return self._status
+        comm = self._comm
+        task = comm.process.task
+        rec = self._rec
+        while rec.message is None:
+            rec.cond.wait(task, reason="Irecv.wait(match)")
+        self._grant_cts_if_needed()
+        self._status = comm._finish_receive(rec, self._buf, self._count, self._datatype)
+        self._done = True
+        return self._status
+
+    def test(self) -> tuple[bool, Status | None]:
+        if self._done:
+            return True, self._status
+        msg = self._rec.message
+        if msg is None:
+            return False, None
+        self._grant_cts_if_needed()
+        now = self._comm.process.task.now
+        ready = (
+            (msg.eager and msg.arrival_time is not None and msg.arrival_time <= now)
+            or (not msg.eager and msg.data_arrived)
+        )
+        if not ready:
+            return False, None
+        self._status = self._comm._finish_receive(
+            self._rec, self._buf, self._count, self._datatype
+        )
+        self._done = True
+        return True, self._status
+
+
+def wait_all(requests: Sequence[Request]) -> list[Status | None]:
+    """``MPI_Waitall``: wait on every request, in order."""
+    if not requests:
+        return []
+    return [req.wait() for req in requests]

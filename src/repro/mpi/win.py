@@ -1,0 +1,288 @@
+"""One-sided communication: windows, Put/Get/Accumulate, fences.
+
+Active-target synchronization with ``Win_fence`` only — the mode the
+paper benchmarks (section 2.5).  Transfers issued inside an epoch are
+queued at the origin and drained at the closing fence; the fence's
+synchronization overhead (``fence_base`` + per-rank term) is what makes
+one-sided transfers slow for small messages (section 4.4), and the
+platform's one-sided bandwidth factor is what separates the
+installations at larger sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..sim.sync import SimBarrier
+from .buffers import SimBuffer, as_simbuffer
+from .datatypes import BYTE, Datatype, pack_bytes, unpack_bytes
+from .datatypes.engine import check_fits
+from .errors import WindowError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+__all__ = ["Win"]
+
+
+@dataclass
+class _QueuedOp:
+    """One origin-side RMA operation awaiting the closing fence."""
+
+    kind: str  # "put" | "get" | "accumulate"
+    nbytes: int
+    wire_time: float
+    apply: Callable[[], None]  # functional data movement
+
+
+class _WinState:
+    """State shared by all ranks' handles of one window."""
+
+    def __init__(self, size: int, barrier: SimBarrier):
+        self.buffers: list[SimBuffer | None] = [None] * size
+        self.barrier = barrier
+        self.registered = 0
+        self.freed = False
+
+
+class Win:
+    """One rank's handle on a shared RMA window."""
+
+    def __init__(self, comm: "Comm", state: _WinState):
+        self.comm = comm
+        self._state = state
+        self._pending: list[_QueuedOp] = []
+        self._fence_count = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, comm: "Comm", buffer: SimBuffer | np.ndarray | None) -> "Win":
+        """Collective window creation (``MPI_Win_create``).
+
+        Every rank calls this in the same order; ranks exposing no
+        memory pass ``None``.
+        """
+        world = comm.world
+        proc = comm.process
+        index = proc.next_win_index(comm.context_id)
+        key = (comm.context_id, index)
+        if key not in world.win_registry:
+            world.win_registry[key] = _WinState(
+                comm.size, SimBarrier(world.kernel, comm.size, f"win{key}")
+            )
+        state = world.win_registry[key]
+        state.buffers[comm.rank] = as_simbuffer(buffer) if buffer is not None else None
+        state.registered += 1
+        comm.process.task.sleep(world.cost.call())
+        win = cls(comm, state)
+        # Creation is collective: synchronize so every rank's memory is
+        # registered before any epoch can open.
+        comm.Barrier()
+        return win
+
+    # ------------------------------------------------------------------
+    @property
+    def in_epoch(self) -> bool:
+        return self._fence_count >= 1 and not self._state.freed
+
+    def _require_epoch(self, what: str) -> None:
+        if self._state.freed:
+            raise WindowError(f"{what} on a freed window")
+        if not self.in_epoch:
+            raise WindowError(f"{what} outside an access epoch (call Fence first)")
+
+    def _target_buffer(self, target_rank: int, what: str) -> SimBuffer:
+        if not 0 <= target_rank < self.comm.size:
+            raise WindowError(f"{what}: target rank {target_rank} out of range")
+        buf = self._state.buffers[target_rank]
+        if buf is None:
+            raise WindowError(f"{what}: rank {target_rank} exposed no window memory")
+        return buf
+
+    # ------------------------------------------------------------------
+    def Put(
+        self,
+        origin,
+        target_rank: int,
+        *,
+        origin_count: int | None = None,
+        origin_datatype: Datatype | None = None,
+        target_disp: int = 0,
+        target_count: int | None = None,
+        target_datatype: Datatype | None = None,
+    ) -> None:
+        """``MPI_Put``: transfer local data into the target window.
+
+        Completes at the closing fence.  Derived origin datatypes are
+        staged exactly like a derived-type send (the paper puts a single
+        derived type, section 2.5).
+        """
+        self._require_epoch("Put")
+        comm = self.comm
+        cost = comm.world.cost
+        task = comm.process.task
+        origin_buf, origin_count, origin_datatype = comm._resolve(
+            origin, origin_count, origin_datatype
+        )
+        nbytes = origin_datatype.size * origin_count
+        if target_datatype is None:
+            target_datatype = BYTE
+            target_count = nbytes
+        elif target_count is None:
+            if target_datatype.size == 0:
+                target_count = 0
+            else:
+                target_count = nbytes // target_datatype.size
+        target_datatype.require_committed()
+        if target_datatype.size * target_count != nbytes:
+            raise WindowError(
+                f"Put: origin carries {nbytes} bytes but target spec holds "
+                f"{target_datatype.size * target_count}"
+            )
+        target_buf = self._target_buffer(target_rank, "Put")
+        task.sleep(cost.call())
+        origin_pattern = origin_datatype.access_pattern(origin_count)
+        if not origin_pattern.is_contiguous:
+            task.sleep(cost.staging(origin_pattern, comm.process.cache_warm))
+            comm.process.touch_caches()
+        payload = comm._build_payload(origin_buf, origin_count, origin_datatype)
+        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+
+        tdt, tcount, tdisp = target_datatype, target_count, target_disp
+
+        def apply() -> None:
+            if payload.data is None or not target_buf.materialized or tcount == 0:
+                return
+            window = target_buf.bytes[tdisp:]
+            check_fits(tdt, tcount, window.size, "Put target")
+            unpack_bytes(payload.data, 0, window, tdt, tcount)
+
+        self._pending.append(_QueuedOp("put", nbytes, wire, apply))
+        comm.world.trace("rma.put", rank=comm.rank, target=target_rank, nbytes=nbytes)
+
+    def Get(
+        self,
+        origin,
+        target_rank: int,
+        *,
+        origin_count: int | None = None,
+        origin_datatype: Datatype | None = None,
+        target_disp: int = 0,
+        target_count: int | None = None,
+        target_datatype: Datatype | None = None,
+    ) -> None:
+        """``MPI_Get``: transfer target window data into a local buffer,
+        completing at the closing fence."""
+        self._require_epoch("Get")
+        comm = self.comm
+        cost = comm.world.cost
+        task = comm.process.task
+        origin_buf, origin_count, origin_datatype = comm._resolve(
+            origin, origin_count, origin_datatype
+        )
+        nbytes = origin_datatype.size * origin_count
+        if target_datatype is None:
+            target_datatype = BYTE
+            target_count = nbytes
+        elif target_count is None:
+            target_count = nbytes // target_datatype.size if target_datatype.size else 0
+        target_datatype.require_committed()
+        if target_datatype.size * target_count != nbytes:
+            raise WindowError(
+                f"Get: origin holds {nbytes} bytes but target spec carries "
+                f"{target_datatype.size * target_count}"
+            )
+        target_buf = self._target_buffer(target_rank, "Get")
+        task.sleep(cost.call())
+        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+        origin_pattern = origin_datatype.access_pattern(origin_count)
+        scatter_cost = (
+            0.0
+            if origin_pattern.is_contiguous
+            else cost.unstaging(origin_pattern, comm.process.cache_warm)
+        )
+        tdt, tcount, tdisp = target_datatype, target_count, target_disp
+        odt, ocount = origin_datatype, origin_count
+
+        def apply() -> None:
+            if not target_buf.materialized or not origin_buf.materialized or tcount == 0:
+                return
+            window = target_buf.bytes[tdisp:]
+            check_fits(tdt, tcount, window.size, "Get target")
+            staged = np.empty(nbytes, dtype=np.uint8)
+            pack_bytes(window, tdt, tcount, staged)
+            unpack_bytes(staged, 0, origin_buf.bytes, odt, ocount)
+
+        self._pending.append(_QueuedOp("get", nbytes, wire + scatter_cost, apply))
+        comm.world.trace("rma.get", rank=comm.rank, target=target_rank, nbytes=nbytes)
+
+    def Accumulate(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        *,
+        op: str = "sum",
+        target_disp: int = 0,
+    ) -> None:
+        """``MPI_Accumulate`` with a numpy origin array; element type is
+        discovered from the array, and ``target_disp`` is in bytes."""
+        self._require_epoch("Accumulate")
+        from .collectives import REDUCE_OPS
+
+        if op not in REDUCE_OPS:
+            raise WindowError(f"unknown accumulate op {op!r}")
+        comm = self.comm
+        cost = comm.world.cost
+        task = comm.process.task
+        if not isinstance(origin, np.ndarray):
+            raise WindowError("Accumulate requires a numpy origin array")
+        nbytes = origin.nbytes
+        target_buf = self._target_buffer(target_rank, "Accumulate")
+        task.sleep(cost.call())
+        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+        snapshot = origin.copy()
+        combine = REDUCE_OPS[op]
+
+        def apply() -> None:
+            if not target_buf.materialized or nbytes == 0:
+                return
+            region = target_buf.bytes[target_disp : target_disp + nbytes].view(snapshot.dtype)
+            combine(region, snapshot.reshape(-1), out=region)
+
+        self._pending.append(_QueuedOp("accumulate", nbytes, wire, apply))
+        comm.world.trace("rma.acc", rank=comm.rank, target=target_rank, nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    def Fence(self) -> None:
+        """``MPI_Win_fence``: close the current epoch (draining this
+        rank's queued transfers), synchronize all ranks, and open the
+        next epoch."""
+        if self._state.freed:
+            raise WindowError("Fence on a freed window")
+        comm = self.comm
+        cost = comm.world.cost
+        task = comm.process.task
+        task.sleep(cost.call())
+        if self._pending:
+            # Drain: transfers serialize on the origin's injection port;
+            # the final payload lands one latency later.
+            total = sum(op.wire_time for op in self._pending)
+            task.sleep(total + cost.latency)
+            for op in self._pending:
+                op.apply()
+            comm.world.trace("rma.drain", rank=comm.rank, nops=len(self._pending))
+            self._pending.clear()
+        self._state.barrier.arrive(task, release_cost=cost.fence(comm.size))
+        self._fence_count += 1
+
+    def free(self) -> None:
+        """``MPI_Win_free`` (collective; any queued ops must be fenced)."""
+        if self._pending:
+            raise WindowError("Win_free with unfenced RMA operations pending")
+        self.comm.Barrier()
+        self._state.freed = True
+
+    Free = free

@@ -1,0 +1,25 @@
+"""Deterministic discrete-event simulation kernel.
+
+Exports the :class:`Kernel` event loop, thread-backed :class:`SimTask`
+cooperative tasks, condition/barrier primitives, and structured tracing.
+"""
+
+from .errors import DeadlockError, EventLimitExceeded, KernelStateError, SimError
+from .kernel import Kernel, SimTask, TaskState
+from .sync import SimBarrier, SimCondition
+from .trace import NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Kernel",
+    "SimTask",
+    "TaskState",
+    "SimBarrier",
+    "SimCondition",
+    "Tracer",
+    "NullTracer",
+    "TraceEvent",
+    "SimError",
+    "DeadlockError",
+    "EventLimitExceeded",
+    "KernelStateError",
+]

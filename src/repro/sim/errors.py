@@ -1,0 +1,36 @@
+"""Exceptions raised by the simulation kernel."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "DeadlockError", "KernelStateError", "EventLimitExceeded"]
+
+
+class SimError(Exception):
+    """Base class for simulation-kernel errors."""
+
+
+class DeadlockError(SimError):
+    """Every live task is blocked and no events remain.
+
+    Carries the offending tasks so callers (and tests) can inspect what
+    each rank was waiting for — the simulated equivalent of an MPI job
+    hanging in ``MPI_Recv``.
+    """
+
+    def __init__(self, blocked: list[tuple[str, str]]):
+        self.blocked = blocked
+        detail = "; ".join(f"{name}: {reason}" for name, reason in blocked)
+        super().__init__(f"simulation deadlock — all live tasks blocked ({detail})")
+
+
+class KernelStateError(SimError):
+    """An operation was invoked from the wrong context (e.g. ``sleep``
+    outside the running task, or re-running a finished kernel)."""
+
+
+class EventLimitExceeded(SimError):
+    """The kernel processed more events than the configured bound.
+
+    A safety net for tests: a runaway protocol loop fails fast instead
+    of spinning forever.
+    """

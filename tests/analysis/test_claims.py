@@ -1,0 +1,139 @@
+"""Claim-check tests over synthetic sweeps (fast, no simulation).
+
+These verify the checkers themselves: a sweep crafted to match the
+paper passes; targeted corruptions flip the right claim to FAIL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import (
+    check_cross_platform_claims,
+    check_platform_claims,
+)
+from repro.core.results import Measurement, SweepResult
+from repro.machine import get_platform
+
+
+def m(scheme, label, size, time):
+    return Measurement(
+        scheme=scheme, label=label, message_bytes=size, time=time,
+        min_time=time, max_time=time, std=0.0, dismissed=0, verified=True,
+    )
+
+
+def paper_like_sweep(
+    *,
+    copy_factor=3.0,
+    vector_large_factor=1.6,
+    pv_tracks=True,
+    bsend_factor=1.12,
+    onesided_small=12e-6,
+    eager_jump=4e-6,
+    platform_name="skx-impi",
+) -> SweepResult:
+    """A synthetic sweep with the paper's qualitative shape, with knobs
+    to break individual claims."""
+    plat = get_platform(platform_name)
+    bw = plat.network.bandwidth
+    limit = plat.tuning.eager_limit
+    threshold = plat.tuning.large_message_threshold
+    sizes = [1000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000]
+    s = SweepResult(platform=platform_name)
+    for n in sizes:
+        ref = 3e-6 + n / bw + (eager_jump if limit and n > limit else 0.0)
+        copy = 3e-6 + copy_factor * n / bw + (eager_jump if limit and n > limit else 0.0)
+        vec = copy * (vector_large_factor if n > threshold else 1.0)
+        pv = copy * (1.0 if pv_tracks else 1.4)
+        pe = copy + (n / 8) * 6e-9
+        bsend = copy * bsend_factor
+        one = copy * 1.05 + onesided_small
+        s.add(m("reference", "reference", n, ref))
+        s.add(m("copying", "copying", n, copy))
+        s.add(m("vector", "vector type", n, vec))
+        s.add(m("subarray", "subarray", n, vec))
+        s.add(m("packing-vector", "packing(v)", n, pv))
+        s.add(m("packing-element", "packing(e)", n, pe))
+        s.add(m("buffered", "buffered", n, bsend))
+        s.add(m("onesided", "onesided", n, one))
+    return s
+
+
+def by_id(checks):
+    return {c.claim_id: c for c in checks}
+
+
+class TestPaperShapePasses:
+    def test_all_claims_pass_on_conforming_sweep(self):
+        checks = check_platform_claims(paper_like_sweep())
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(str(c) for c in failed)
+        assert len(checks) >= 10
+
+    def test_claims_have_details(self):
+        for check in check_platform_claims(paper_like_sweep()):
+            assert check.details
+            assert str(check).startswith("[PASS]") or str(check).startswith("[FAIL]")
+
+
+class TestCorruptionsAreCaught:
+    def test_copy_slowdown_out_of_band(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(copy_factor=8.0)))
+        assert not checks["copying-slowdown-three"].passed
+
+    def test_missing_vector_degradation(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(vector_large_factor=1.0)))
+        assert not checks["derived-large-message-drop"].passed
+
+    def test_packing_v_divergence(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(pv_tracks=False)))
+        assert not checks["packing-v-equals-copying"].passed
+
+    def test_bsend_not_worse(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(bsend_factor=0.99)))
+        assert not checks["bsend-disadvantage"].passed
+
+    def test_onesided_cheap_fence(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(onesided_small=0.0)))
+        assert not checks["onesided-small-overhead"].passed
+
+    def test_no_eager_drop(self):
+        checks = by_id(check_platform_claims(paper_like_sweep(eager_jump=0.0)))
+        assert not checks["eager-limit-drop"].passed
+
+
+class TestPlatformSpecificClaims:
+    def test_mvapich_onesided_penalty_checked(self):
+        sweep = paper_like_sweep(platform_name="skx-mvapich2")
+        checks = by_id(check_platform_claims(sweep))
+        # onesided only 1.05x copying: the several-factors claim fails
+        assert "onesided-mvapich-penalty" in checks
+        assert not checks["onesided-mvapich-penalty"].passed
+
+    def test_cray_on_par_claim_present(self):
+        sweep = paper_like_sweep(platform_name="ls5-cray")
+        checks = by_id(check_platform_claims(sweep))
+        assert "onesided-cray-on-par" in checks
+
+
+class TestCrossPlatform:
+    def test_knl_comparisons(self):
+        sweeps = {
+            "skx-impi": paper_like_sweep(copy_factor=3.0),
+            "knl-impi": paper_like_sweep(copy_factor=6.0, platform_name="knl-impi"),
+        }
+        checks = by_id(check_cross_platform_claims(sweeps))
+        assert checks["knl-same-network-peak"].passed
+        assert checks["knl-core-hampers-copy"].passed
+
+    def test_knl_not_hampered_fails(self):
+        sweeps = {
+            "skx-impi": paper_like_sweep(copy_factor=3.0),
+            "knl-impi": paper_like_sweep(copy_factor=3.0, platform_name="knl-impi"),
+        }
+        checks = by_id(check_cross_platform_claims(sweeps))
+        assert not checks["knl-core-hampers-copy"].passed
+
+    def test_empty_when_platforms_missing(self):
+        assert check_cross_platform_claims({}) == []

@@ -1,0 +1,93 @@
+"""Feature detector tests: eager drops, degradation onsets, rankings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.crossover import degradation_onset, detect_eager_drop, ranking_at
+from repro.core.results import Measurement, SchemeSeries, SweepResult
+
+
+def m(scheme, size, time):
+    return Measurement(
+        scheme=scheme, label=scheme, message_bytes=size, time=time,
+        min_time=time, max_time=time, std=0.0, dismissed=0, verified=True,
+    )
+
+
+class TestEagerDrop:
+    def make_series(self, jump: float) -> SchemeSeries:
+        """Linear time below 64k; `jump` extra seconds above."""
+        sizes = [16_000, 32_000, 64_000, 128_000, 256_000]
+        times = []
+        for s in sizes:
+            t = 1e-6 + s / 1e10
+            if s > 64_000:
+                t += jump
+            times.append(t)
+        return SchemeSeries("x", "x", sizes=sizes, times=times)
+
+    def test_visible_drop(self):
+        drop = detect_eager_drop(self.make_series(5e-6), eager_limit=64_000)
+        assert drop is not None
+        assert drop.below_size == 64_000
+        assert drop.above_size == 128_000
+        assert drop.ratio > 1.3
+
+    def test_no_drop(self):
+        drop = detect_eager_drop(self.make_series(0.0), eager_limit=64_000)
+        assert drop is not None
+        assert drop.ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_not_straddling(self):
+        series = SchemeSeries("x", "x", sizes=[100, 200], times=[1.0, 2.0])
+        assert detect_eager_drop(series, eager_limit=50) is None
+        assert detect_eager_drop(series, eager_limit=500) is None
+
+    def test_single_point_below_uses_scaling(self):
+        series = SchemeSeries("x", "x", sizes=[64_000, 128_000], times=[1e-3, 4e-3])
+        drop = detect_eager_drop(series, eager_limit=64_000)
+        assert drop is not None
+        assert drop.ratio == pytest.approx(2.0)
+
+
+class TestDegradationOnset:
+    def build(self, onset_size):
+        s = SweepResult(platform="x")
+        for size in (10**5, 10**6, 10**7, 10**8, 10**9):
+            base = size / 1e9
+            s.add(m("copying", size, base))
+            s.add(m("vector", size, base * (2.0 if size >= onset_size else 1.0)))
+        return s
+
+    def test_onset_found(self):
+        sweep = self.build(10**8)
+        assert degradation_onset(sweep, "vector", "copying") == 10**8
+
+    def test_no_degradation(self):
+        sweep = self.build(10**10)  # never reached
+        assert degradation_onset(sweep, "vector", "copying") is None
+
+    def test_transient_blip_not_reported(self):
+        """The scheme must STAY degraded for the onset to count."""
+        s = SweepResult(platform="x")
+        for size, factor in [(10**5, 1.0), (10**6, 2.0), (10**7, 1.0), (10**8, 1.0)]:
+            base = size / 1e9
+            s.add(m("copying", size, base))
+            s.add(m("vector", size, base * factor))
+        assert degradation_onset(s, "vector", "copying") is None
+
+
+class TestRanking:
+    def test_sorted_fastest_first(self):
+        s = SweepResult(platform="x")
+        s.add(m("a", 100, 3.0))
+        s.add(m("b", 100, 1.0))
+        s.add(m("c", 100, 2.0))
+        assert [k for k, _ in ranking_at(s, 100)] == ["b", "c", "a"]
+
+    def test_missing_sizes_skipped(self):
+        s = SweepResult(platform="x")
+        s.add(m("a", 100, 3.0))
+        s.add(m("b", 200, 1.0))
+        assert [k for k, _ in ranking_at(s, 100)] == ["a"]

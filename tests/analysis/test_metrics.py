@@ -1,0 +1,69 @@
+"""Metric computation tests over synthetic sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    asymptotic_slowdown,
+    bandwidth_series,
+    peak_bandwidth,
+    size_at_half_peak,
+    slowdown_series,
+)
+from repro.core.results import Measurement, SweepResult
+
+
+def m(scheme, size, time):
+    return Measurement(
+        scheme=scheme, label=scheme, message_bytes=size, time=time,
+        min_time=time, max_time=time, std=0.0, dismissed=0, verified=True,
+    )
+
+
+@pytest.fixture
+def sweep():
+    """Latency+bandwidth model: ref t = 1us + n/1e9; copy 3x the wire."""
+    s = SweepResult(platform="synthetic")
+    for size in (1000, 10_000, 100_000, 1_000_000, 10_000_000):
+        s.add(m("reference", size, 1e-6 + size / 1e9))
+        s.add(m("copying", size, 1e-6 + 3 * size / 1e9))
+    return s
+
+
+def test_bandwidth_series(sweep):
+    sizes, bws = bandwidth_series(sweep.series("reference"))
+    assert sizes[0] == 1000
+    assert bws[-1] == pytest.approx(1e7 / (1e-6 + 1e-2), rel=1e-6)
+    assert all(b1 <= b2 for b1, b2 in zip(bws, bws[1:]))  # monotone here
+
+
+def test_peak_bandwidth(sweep):
+    peak = peak_bandwidth(sweep.series("reference"))
+    assert peak == pytest.approx(1e7 / (1e-6 + 1e-2), rel=1e-6)
+
+
+def test_size_at_half_peak(sweep):
+    n_half = size_at_half_peak(sweep.series("reference"))
+    assert n_half in (1000, 10_000)  # latency ~ wire crossover region
+
+
+def test_slowdown_series(sweep):
+    sizes, slows = slowdown_series(sweep, "copying")
+    assert sizes == sweep.sizes()
+    # tends to 3 as latency amortizes
+    assert slows[-1] == pytest.approx(3.0, rel=0.01)
+    assert slows[0] < slows[-1]
+
+
+def test_asymptotic_slowdown(sweep):
+    assert asymptotic_slowdown(sweep, "copying") == pytest.approx(3.0, rel=0.02)
+    assert asymptotic_slowdown(sweep, "copying", tail=1) == pytest.approx(3.0, rel=0.01)
+
+
+def test_asymptotic_slowdown_no_common_sizes():
+    s = SweepResult(platform="x")
+    s.add(m("reference", 100, 1e-6))
+    s.add(m("other", 200, 1e-6))
+    with pytest.raises(ValueError):
+        asymptotic_slowdown(s, "other")

@@ -1,0 +1,96 @@
+"""Rendering tests: text tables and ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii import AsciiChart, plot_series
+from repro.analysis.tables import format_size_header, render_table
+from repro.core.results import Measurement, SweepResult
+
+
+def m(scheme, size, time):
+    return Measurement(
+        scheme=scheme, label=scheme, message_bytes=size, time=time,
+        min_time=time, max_time=time, std=0.0, dismissed=0, verified=True,
+    )
+
+
+@pytest.fixture
+def sweep():
+    s = SweepResult(platform="x")
+    for size in (1000, 1_000_000):
+        s.add(m("reference", size, size / 1e9))
+        s.add(m("copying", size, 3 * size / 1e9))
+    return s
+
+
+class TestTables:
+    def test_time_table(self, sweep):
+        text = render_table(sweep, "time")
+        assert "reference" in text and "copying" in text
+        assert "1e+03" in text and "1e+06" in text
+        assert "seconds" in text
+
+    def test_bandwidth_table_in_gbs(self, sweep):
+        text = render_table(sweep, "bandwidth")
+        assert "1.00" in text  # reference at 1 GB/s
+        assert "GB/s" in text
+
+    def test_slowdown_table(self, sweep):
+        text = render_table(sweep, "slowdown")
+        assert "3.00" in text
+        assert "x vs reference" in text
+
+    def test_missing_cell_rendered_as_dash(self, sweep):
+        sweep.add(m("partial", 1000, 1e-6))
+        text = render_table(sweep, "time")
+        row = next(line for line in text.splitlines() if line.startswith("partial"))
+        assert "-" in row
+
+    def test_unknown_kind(self, sweep):
+        with pytest.raises(ValueError):
+            render_table(sweep, "latency")
+
+    def test_format_size_header(self):
+        assert format_size_header(1_000_000) == "1e+06"
+
+
+class TestAsciiChart:
+    def test_render_contains_markers_and_legend(self):
+        chart = AsciiChart(width=40, height=10, title="demo")
+        chart.add_series("one", [(1e3, 1e-6), (1e6, 1e-3)], marker="r")
+        chart.add_series("two", [(1e3, 2e-6), (1e6, 2e-3)], marker="c")
+        text = chart.render()
+        assert "demo" in text
+        assert "r=one" in text and "c=two" in text
+        body = "\n".join(text.splitlines()[1:-3])  # grid rows only
+        assert "r" in body and "c" in body
+
+    def test_empty_chart(self):
+        chart = AsciiChart(title="empty")
+        assert "no data" in chart.render()
+
+    def test_log_axis_labels(self):
+        chart = AsciiChart(width=30, height=8)
+        chart.add_series("s", [(1e3, 1e-5), (1e9, 1e-1)])
+        text = chart.render()
+        assert "1e+3" in text and "1e+9" in text
+
+    def test_linear_y(self):
+        text = plot_series("lin", {"s": [(1e3, 1.0), (1e6, 5.0)]}, logy=False)
+        assert "5" in text
+
+    def test_nonpositive_points_dropped_on_log_axes(self):
+        chart = AsciiChart()
+        chart.add_series("s", [(0.0, 1.0), (1e3, 0.0), (1e3, 1.0)])
+        assert chart.render()  # does not raise
+
+    def test_plot_series_wrapper(self):
+        text = plot_series("t", {"a": [(1, 1), (10, 10)], "b": [(1, 2), (10, 20)]})
+        assert "a" in text and "b" in text
+
+    def test_single_point_degenerate_axes(self):
+        chart = AsciiChart()
+        chart.add_series("s", [(10.0, 5.0)])
+        assert chart.render()

@@ -1,0 +1,51 @@
+"""Shared fixtures: the friction-free platform and small run helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.timing import TimingPolicy
+from repro.machine import get_platform
+from repro.mpi import run_mpi
+
+
+@pytest.fixture
+def ideal():
+    """The round-number test platform (10 GB/s everywhere, 1 us latency,
+    zero software overheads, 1000 B eager limit)."""
+    return get_platform("ideal")
+
+
+@pytest.fixture
+def skx():
+    return get_platform("skx-impi")
+
+
+@pytest.fixture
+def fast_policy():
+    """A 3-iteration, flush-free measurement policy for quick cells."""
+    return TimingPolicy(iterations=3, flush=False)
+
+
+@pytest.fixture
+def run2(ideal):
+    """Run a two-rank MPI program on the ideal platform and return the
+    JobResult."""
+
+    def _run(main, *, nranks=2, platform=None, trace=False, max_events=200_000):
+        return run_mpi(
+            main, nranks=nranks, platform=platform or ideal, trace=trace, max_events=max_events
+        )
+
+    return _run
+
+
+@pytest.fixture
+def doubles():
+    """Factory for float64 arange arrays."""
+
+    def _make(n: int) -> np.ndarray:
+        return np.arange(n, dtype=np.float64)
+
+    return _make

@@ -1,0 +1,99 @@
+"""Result data-model tests: series, slowdowns, JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import Measurement, SchemeSeries, SweepResult
+
+
+def m(scheme, size, time, *, label=None, verified=True):
+    return Measurement(
+        scheme=scheme,
+        label=label or scheme,
+        message_bytes=size,
+        time=time,
+        min_time=time * 0.9,
+        max_time=time * 1.1,
+        std=time * 0.01,
+        dismissed=0,
+        verified=verified,
+    )
+
+
+@pytest.fixture
+def sweep():
+    s = SweepResult(platform="test", metadata={"note": "unit"})
+    for size, t in [(1000, 1e-6), (10_000, 5e-6), (100_000, 40e-6)]:
+        s.add(m("reference", size, t))
+        s.add(m("copying", size, 3 * t))
+    return s
+
+
+class TestMeasurement:
+    def test_bandwidth(self):
+        assert m("x", 1000, 1e-6).bandwidth == pytest.approx(1e9)
+        assert m("x", 1000, 0.0).bandwidth == 0.0
+
+
+class TestSchemeSeries:
+    def test_sorting(self):
+        s = SchemeSeries("x", "x")
+        s.add(100, 2.0)
+        s.add(10, 1.0)
+        s.sort()
+        assert s.sizes == [10, 100]
+        assert s.times == [1.0, 2.0]
+        assert len(s) == 2
+
+    def test_time_at(self):
+        s = SchemeSeries("x", "x", sizes=[10, 20], times=[1.0, 2.0])
+        assert s.time_at(20) == 2.0
+        with pytest.raises(KeyError):
+            s.time_at(30)
+
+    def test_bandwidths(self):
+        s = SchemeSeries("x", "x", sizes=[1000], times=[1e-6])
+        assert s.bandwidths() == [pytest.approx(1e9)]
+
+
+class TestSweepResult:
+    def test_schemes_in_first_appearance_order(self, sweep):
+        assert sweep.schemes() == ["reference", "copying"]
+
+    def test_sizes_sorted_unique(self, sweep):
+        assert sweep.sizes() == [1000, 10_000, 100_000]
+
+    def test_series_extraction(self, sweep):
+        ser = sweep.series("copying")
+        assert ser.sizes == [1000, 10_000, 100_000]
+        assert ser.times == pytest.approx([3e-6, 15e-6, 120e-6])
+        with pytest.raises(KeyError):
+            sweep.series("bogus")
+
+    def test_slowdowns(self, sweep):
+        slows = sweep.slowdowns("copying")
+        assert slows == [(1000, pytest.approx(3.0)), (10_000, pytest.approx(3.0)),
+                         (100_000, pytest.approx(3.0))]
+
+    def test_slowdowns_skip_missing_sizes(self, sweep):
+        sweep.add(m("onesided", 1000, 9e-6))
+        slows = sweep.slowdowns("onesided")
+        assert len(slows) == 1 and slows[0][0] == 1000
+
+    def test_all_verified(self, sweep):
+        assert sweep.all_verified()
+        sweep.add(m("bad", 1000, 1e-6, verified=False))
+        assert not sweep.all_verified()
+
+    def test_json_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        loaded = SweepResult.load(path)
+        assert loaded.platform == sweep.platform
+        assert loaded.metadata == sweep.metadata
+        assert loaded.measurements == sweep.measurements
+
+    def test_all_series(self, sweep):
+        series = sweep.all_series()
+        assert set(series) == {"reference", "copying"}

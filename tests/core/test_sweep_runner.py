@@ -1,0 +1,106 @@
+"""Sweep configuration and runner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PAPER_ORDER,
+    SweepConfig,
+    TimingPolicy,
+    default_message_sizes,
+    run_sweep,
+    strided_for_bytes,
+)
+
+
+class TestDefaultSizes:
+    def test_paper_range(self):
+        sizes = default_message_sizes()
+        assert sizes[0] >= 16
+        assert sizes[-1] == 10**9
+        assert len(sizes) == 13  # two per decade over six decades, inclusive
+
+    def test_all_multiples_of_16(self):
+        assert all(s % 16 == 0 for s in default_message_sizes())
+
+    def test_sorted_unique(self):
+        sizes = default_message_sizes(1000, 10**6, per_decade=4)
+        assert sizes == sorted(set(sizes))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_message_sizes(0, 100)
+        with pytest.raises(ValueError):
+            default_message_sizes(100, 10)
+        with pytest.raises(ValueError):
+            default_message_sizes(10, 100, per_decade=0)
+
+
+class TestSweepConfig:
+    def test_defaults(self):
+        cfg = SweepConfig()
+        assert cfg.schemes == PAPER_ORDER
+        assert cfg.materialize(1 << 20)
+        assert not cfg.materialize((1 << 20) + 1)
+
+    def test_layout_factory(self):
+        cfg = SweepConfig()
+        layout = cfg.layout_for(4000)
+        assert layout.message_bytes == 4000
+
+    def test_with_helpers(self):
+        cfg = SweepConfig().with_sizes([1024]).with_schemes(["reference"])
+        assert cfg.sizes == (1024,)
+        assert cfg.schemes == ("reference",)
+        cfg2 = cfg.with_policy(TimingPolicy(iterations=2))
+        assert cfg2.policy.iterations == 2
+        cfg3 = cfg.with_layout_factory(lambda n: strided_for_bytes(n, blocklen=4))
+        assert cfg3.layout_for(64000).blocklen == 4
+
+    def test_quick_preset(self):
+        cfg = SweepConfig.quick()
+        assert cfg.policy.iterations == 5
+        assert cfg.sizes[-1] <= 10**7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(sizes=())
+        with pytest.raises(ValueError):
+            SweepConfig(schemes=())
+        with pytest.raises(ValueError):
+            SweepConfig(sizes=(0,))
+
+
+class TestRunSweep:
+    def test_small_sweep_end_to_end(self, ideal):
+        cfg = SweepConfig(
+            sizes=(1024, 8192),
+            schemes=("reference", "copying", "packing-vector"),
+            policy=TimingPolicy(iterations=3, flush=False),
+        )
+        result = run_sweep(ideal, cfg)
+        assert len(result.measurements) == 6
+        assert result.all_verified()
+        assert result.platform == "ideal"
+        assert result.metadata["iterations"] == 3
+        # copying is slower than reference at both sizes
+        for size, slowdown in result.slowdowns("copying"):
+            assert slowdown > 1.0
+
+    def test_progress_callback(self, ideal):
+        calls = []
+        cfg = SweepConfig(
+            sizes=(1024,), schemes=("reference",),
+            policy=TimingPolicy(iterations=2, flush=False),
+        )
+        run_sweep(ideal, cfg, progress=lambda s, n, t: calls.append((s, n)))
+        assert calls == [("reference", 1024)]
+
+    def test_platform_by_name(self):
+        cfg = SweepConfig(
+            sizes=(1024,), schemes=("reference",),
+            policy=TimingPolicy(iterations=2, flush=False),
+        )
+        result = run_sweep("ideal", cfg)
+        assert result.platform == "ideal"

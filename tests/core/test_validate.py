@@ -1,0 +1,56 @@
+"""Cross-scheme validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validate import validate_schemes
+
+
+class TestValidateSchemes:
+    def test_all_schemes_agree(self, ideal):
+        result = validate_schemes(16_384, ideal)
+        assert result.passed, result.render()
+        assert len(result.payloads) == 8
+        assert "PASS" in result.render()
+
+    def test_subset_of_schemes(self, ideal):
+        result = validate_schemes(4_096, ideal, schemes=("reference", "copying"))
+        assert result.passed
+        assert set(result.payloads) == {"reference", "copying"}
+
+    def test_payloads_hold_the_strided_data(self, ideal):
+        result = validate_schemes(8_192, ideal, schemes=("vector",))
+        payload = result.payloads["vector"]
+        assert np.array_equal(payload, np.arange(0, 2048, 2, dtype=np.float64))
+
+    def test_sizes_spanning_both_protocols(self, ideal):
+        # 512 B is eager on ideal; 8 kB is rendezvous.
+        for nbytes in (512, 8_192):
+            result = validate_schemes(nbytes, ideal,
+                                      schemes=("reference", "vector", "packing-vector"))
+            assert result.passed, result.render()
+
+    def test_rounds_to_whole_blocks(self, ideal):
+        result = validate_schemes(1004, ideal, schemes=("reference",))
+        assert result.message_bytes == 1000  # whole 8-byte blocks
+
+    def test_failure_reported(self, ideal, monkeypatch):
+        """A corrupted delivery must be caught and named."""
+        import repro.core.validate as validate_mod
+
+        real = validate_mod._deliver_once
+
+        def corrupting(scheme_key, layout, platform):
+            payload = real(scheme_key, layout, platform)
+            if scheme_key == "copying":
+                payload = payload.copy()
+                payload[0] += 1.0
+            return payload
+
+        monkeypatch.setattr(validate_mod, "_deliver_once", corrupting)
+        result = validate_schemes(4_096, ideal, schemes=("reference", "copying"))
+        assert not result.passed
+        assert any("copying" in f for f in result.failures)
+        assert "FAIL" in result.render()

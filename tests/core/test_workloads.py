@@ -1,0 +1,130 @@
+"""Workload-layout tests: the intro's use cases map to correct bytes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workloads import (
+    aos_field,
+    complex_real_parts,
+    fem_boundary,
+    halo_faces_2d,
+    matrix_column,
+    matrix_row_block,
+    multigrid_coarsening,
+)
+from repro.mpi.datatypes import pack_bytes
+
+
+def extract(workload, source: np.ndarray) -> np.ndarray:
+    out = np.zeros(workload.message_bytes, dtype=np.uint8)
+    pack_bytes(source, workload.datatype, workload.count, out)
+    return out.view(np.float64)
+
+
+class TestComplexRealParts:
+    def test_extracts_reals(self):
+        w = complex_real_parts(100)
+        z = (np.arange(100) + 1j * 999).astype(np.complex128)
+        assert np.array_equal(extract(w, z.view(np.float64)), np.arange(100.0))
+
+    def test_geometry(self):
+        w = complex_real_parts(64)
+        assert w.source_doubles == 128
+        assert w.message_bytes == 64 * 8
+        assert np.array_equal(w.payload_indices(), np.arange(0, 128, 2))
+
+
+class TestMultigrid:
+    def test_every_other_point(self):
+        w = multigrid_coarsening(64)
+        fine = np.arange(64, dtype=np.float64)
+        assert np.array_equal(extract(w, fine), fine[::2])
+
+    def test_factor_four(self):
+        w = multigrid_coarsening(64, factor=4)
+        fine = np.arange(64, dtype=np.float64)
+        assert np.array_equal(extract(w, fine), fine[::4])
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            multigrid_coarsening(63)
+
+
+class TestFemBoundary:
+    def test_picks_indices(self):
+        idx = np.array([2, 5, 11, 17])
+        w = fem_boundary(20, idx)
+        local = np.arange(20, dtype=np.float64) * 10
+        assert np.array_equal(extract(w, local), idx * 10.0)
+
+    @pytest.mark.parametrize(
+        "indices", [[], [3, 3], [5, 2], [-1, 2], [0, 25]]
+    )
+    def test_bad_indices_rejected(self, indices):
+        with pytest.raises(ValueError):
+            fem_boundary(20, np.array(indices, dtype=np.int64))
+
+
+class TestMatrix:
+    def test_column_extraction(self):
+        w = matrix_column(4, 5, col=2)
+        m = np.arange(20, dtype=np.float64)
+        assert np.array_equal(extract(w, m), m.reshape(4, 5)[:, 2])
+
+    def test_row_block_is_contiguous(self):
+        w = matrix_row_block(6, 4, row0=2, nblock=2)
+        assert w.datatype.is_contiguous
+        m = np.arange(24, dtype=np.float64)
+        assert np.array_equal(extract(w, m), m.reshape(6, 4)[2:4].reshape(-1))
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            matrix_column(4, 5, col=5)
+        with pytest.raises(ValueError):
+            matrix_row_block(6, 4, row0=5, nblock=2)
+
+
+class TestAosField:
+    def test_extract_one_field(self):
+        # records of (x, y, mass): pull the masses
+        w = aos_field(n_records=10, record_doubles=3, field_offset=2)
+        records = np.arange(30, dtype=np.float64)
+        assert np.array_equal(extract(w, records), records.reshape(10, 3)[:, 2])
+
+    def test_multi_double_field(self):
+        # records of (pos[2], vel[2]): pull the velocity pairs
+        w = aos_field(n_records=5, record_doubles=4, field_offset=2, field_doubles=2)
+        records = np.arange(20, dtype=np.float64)
+        assert np.array_equal(extract(w, records), records.reshape(5, 4)[:, 2:].reshape(-1))
+
+    def test_field_outside_record(self):
+        with pytest.raises(ValueError):
+            aos_field(5, 3, field_offset=2, field_doubles=2)
+
+
+class TestHaloFaces:
+    def test_faces_cover_boundary(self):
+        faces = halo_faces_2d(6, 8)
+        grid = np.arange(48, dtype=np.float64)
+        g2 = grid.reshape(6, 8)
+        assert np.array_equal(extract(faces["north"], grid), g2[0])
+        assert np.array_equal(extract(faces["south"], grid), g2[-1])
+        assert np.array_equal(extract(faces["west"], grid), g2[:, 0])
+        assert np.array_equal(extract(faces["east"], grid), g2[:, -1])
+
+    def test_row_faces_contiguous_column_faces_strided(self):
+        faces = halo_faces_2d(6, 8)
+        assert faces["north"].datatype.is_contiguous
+        assert not faces["west"].datatype.is_contiguous
+
+    def test_deep_ghost(self):
+        faces = halo_faces_2d(8, 8, ghost=2)
+        grid = np.arange(64, dtype=np.float64)
+        g2 = grid.reshape(8, 8)
+        assert np.array_equal(extract(faces["south"], grid), g2[-2:].reshape(-1))
+
+    def test_ghost_too_deep(self):
+        with pytest.raises(ValueError):
+            halo_faces_2d(4, 8, ghost=2)

@@ -1,0 +1,101 @@
+"""Simulation-vs-model consistency: the discrete-event simulator must
+agree with the closed-form section 2 predictions, because it composes
+exactly the same cost terms event by event.
+
+Tight tolerances here (2%) are the strongest guard against cost
+double-counting or dropped terms in the protocol code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StridedLayout, TimingPolicy, run_pingpong
+from repro.machine import get_platform
+from repro.machine.analytic import AnalyticModel, stride2_pattern
+
+POLICY = TimingPolicy(iterations=3, flush=True)
+
+SIZES = [1_000, 16_384, 1_000_000, 100_000_000]
+
+
+def measured(scheme: str, nbytes: int, platform) -> float:
+    layout = StridedLayout(nblocks=nbytes // 8)
+    return run_pingpong(scheme, layout, platform, policy=POLICY, materialize=False).time
+
+
+@pytest.fixture(scope="module", params=["skx-impi", "ls5-cray", "knl-impi"])
+def plat(request):
+    return get_platform(request.param)
+
+
+@pytest.mark.parametrize("nbytes", SIZES)
+class TestSchemesMatchModel:
+    def test_reference(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("reference", nbytes, plat) == pytest.approx(
+            model.reference(nbytes), rel=0.02
+        )
+
+    def test_copying(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("copying", nbytes, plat) == pytest.approx(
+            model.copying(nbytes), rel=0.02
+        )
+
+    def test_vector(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("vector", nbytes, plat) == pytest.approx(
+            model.vector(nbytes), rel=0.02
+        )
+
+    def test_packing_vector(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("packing-vector", nbytes, plat) == pytest.approx(
+            model.packing_vector(nbytes), rel=0.02
+        )
+
+    def test_packing_element(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("packing-element", nbytes, plat) == pytest.approx(
+            model.packing_element(nbytes), rel=0.02
+        )
+
+    def test_buffered(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("buffered", nbytes, plat) == pytest.approx(
+            model.buffered(nbytes), rel=0.02
+        )
+
+    def test_onesided(self, plat, nbytes):
+        model = AnalyticModel(plat)
+        assert measured("onesided", nbytes, plat) == pytest.approx(
+            model.onesided(nbytes), rel=0.05
+        )
+
+
+class TestModelInternals:
+    def test_stride2_pattern_geometry(self):
+        p = stride2_pattern(8000)
+        assert p.total_bytes == 8000
+        assert p.nblocks == 1000
+        assert p.span_bytes == 16000
+
+    def test_stride2_pattern_validation(self):
+        with pytest.raises(ValueError):
+            stride2_pattern(0)
+        with pytest.raises(ValueError):
+            stride2_pattern(12)
+
+    def test_predicted_slowdown_near_three_on_skx(self):
+        model = AnalyticModel(get_platform("skx-impi"))
+        assert 3.0 <= model.predicted_copying_slowdown() <= 4.0
+
+    def test_eager_vs_rendezvous_branch(self):
+        plat = get_platform("skx-impi")
+        model = AnalyticModel(plat)
+        limit = plat.tuning.eager_limit
+        just_under = model.transport_time(limit)
+        just_over = model.transport_time(limit + 16)
+        # the rendezvous handshake + setup exceeds the bounce saving
+        assert just_over > just_under

@@ -1,0 +1,117 @@
+"""CLI integration tests (in-process via ``repro.cli.main``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_platforms_command(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    assert "skx-impi" in out and "fig1" in out
+
+
+def test_schemes_command(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "packing(v)" in out and "reference" in out
+
+
+def test_sweep_command_quick(capsys):
+    code = main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+                 "--max-bytes", "100000", "--per-decade", "1",
+                 "--iterations", "3", "--no-flush",
+                 "--schemes", "reference", "copying"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "copying" in out and "x vs reference" in out
+
+
+def test_sweep_saves_json(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    code = main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+                 "--max-bytes", "10000", "--per-decade", "1",
+                 "--iterations", "2", "--no-flush",
+                 "--schemes", "reference", "--out", str(out_file)])
+    assert code == 0
+    assert out_file.exists()
+    from repro.core.results import SweepResult
+
+    loaded = SweepResult.load(out_file)
+    assert loaded.platform == "ideal"
+    assert loaded.measurements
+
+
+def test_figure_command_quick(capsys):
+    code = main(["figure", "fig1", "--quick", "--no-charts"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Stampede2-skx" in out
+    assert "Slowdown vs reference" in out
+
+
+def test_experiment_command(capsys):
+    code = main(["experiment", "flush", "--quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+
+
+def test_claims_command(capsys):
+    code = main(["claims", "--platform", "skx-impi", "--quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "claims passed" in out
+
+
+def test_verbose_progress(capsys):
+    main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+          "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+          "--schemes", "reference", "--verbose"])
+    out = capsys.readouterr().out
+    assert "reference" in out
+
+
+def test_validate_command(capsys):
+    code = main(["validate", "--platform", "ideal", "--bytes", "8192"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out and "packing-vector" in out
+
+
+def test_trace_command(capsys):
+    code = main(["trace", "vector", "--bytes", "200000", "--platform", "skx-impi"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "RTS ->1" in out
+    assert "staging" in out
+    assert "rank 0" in out and "rank 1" in out
+
+
+def test_report_command_with_stub(tmp_path, capsys, monkeypatch):
+    """The report command end-to-end, with the expensive builder stubbed."""
+    import repro.cli as cli_mod
+
+    class FakeReport:
+        all_passed = True
+
+        def to_markdown(self):
+            return "# EXPERIMENTS — stub\nline\n"
+
+    monkeypatch.setattr(cli_mod, "build_report", lambda **kw: FakeReport())
+    out = tmp_path / "EXP.md"
+    assert main(["report", "--quick", "--out", str(out)]) == 0
+    assert out.read_text().startswith("# EXPERIMENTS")
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig9"])
+
+
+def test_parser_rejects_unknown_platform():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--platform", "nope"])

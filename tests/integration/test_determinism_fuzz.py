@@ -1,0 +1,128 @@
+"""Determinism and metamorphic properties of the whole simulator.
+
+Randomized MPI programs (seeded) must produce bit-identical outcomes on
+re-execution, and virtual times must respect basic monotonicity laws —
+the systems-level analogue of the unit-level cost tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_ORDER, StridedLayout, TimingPolicy, run_pingpong
+from repro.mpi import ANY_SOURCE, ANY_TAG, run_mpi
+
+
+def random_exchange_job(seed: int, nranks: int, nmessages: int):
+    """A random but *matched* traffic pattern: a seeded global list of
+    (src, dest, tag, nbytes) messages; every rank sends its share in
+    order and soaks up its inbound count with wildcard receives."""
+    rng = np.random.default_rng(seed)
+    msgs = []
+    for _ in range(nmessages):
+        src = int(rng.integers(nranks))
+        dest = int(rng.integers(nranks - 1))
+        dest = dest if dest < src else dest + 1  # dest != src
+        tag = int(rng.integers(8))
+        nbytes = int(rng.choice([8, 256, 2048, 16384]))
+        msgs.append((src, dest, tag, nbytes))
+
+    def main(comm):
+        outbound = [m for m in msgs if m[0] == comm.rank]
+        inbound = sum(1 for m in msgs if m[1] == comm.rank)
+        reqs = []
+        landed = []
+        for _ in range(inbound):
+            buf = np.zeros(16384 // 8, dtype=np.float64)
+            landed.append(buf)
+            reqs.append(comm.Irecv(buf, source=ANY_SOURCE, tag=ANY_TAG))
+        for _src, dest, tag, nbytes in outbound:
+            comm.Send(np.full(nbytes // 8, float(comm.rank)), dest=dest, tag=tag)
+        total = 0
+        for req in reqs:
+            status = req.wait()
+            total += status.nbytes
+        return (comm.Wtime(), total)
+
+    return main
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_identical_reruns(self, ideal, seed, nranks):
+        def run():
+            job = run_mpi(random_exchange_job(seed, nranks, 25), nranks, ideal,
+                          max_events=100_000)
+            return (tuple(job.results), job.events, job.virtual_time)
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self, ideal):
+        def run(seed):
+            job = run_mpi(random_exchange_job(seed, 3, 25), 3, ideal)
+            return job.virtual_time
+
+        assert run(3) != run(4)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matched_traffic_always_drains(self, seed):
+        """No random matched pattern may deadlock or lose bytes."""
+        from repro.machine import get_platform
+
+        job = run_mpi(random_exchange_job(seed, 3, 15), 3, get_platform("ideal"),
+                      max_events=100_000)
+        total_received = sum(r[1] for r in job.results)
+        assert total_received > 0
+
+
+class TestMetamorphic:
+    POLICY = TimingPolicy(iterations=2, flush=True)
+
+    @pytest.mark.parametrize("scheme", PAPER_ORDER)
+    def test_time_monotone_in_size(self, skx, scheme):
+        sizes = [10_000, 100_000, 1_000_000, 10_000_000]
+        times = [
+            run_pingpong(scheme, StridedLayout(nblocks=s // 8), skx,
+                         policy=self.POLICY, materialize=False).time
+            for s in sizes
+        ]
+        assert all(a < b for a, b in zip(times, times[1:])), (scheme, times)
+
+    def test_wire_bound_reference_scales_linearly(self, skx):
+        t1 = run_pingpong("reference", StridedLayout(nblocks=12_500_000), skx,
+                          policy=self.POLICY, materialize=False).time
+        t2 = run_pingpong("reference", StridedLayout(nblocks=25_000_000), skx,
+                          policy=self.POLICY, materialize=False).time
+        assert t2 / t1 == pytest.approx(2.0, rel=0.02)
+
+    def test_doubling_bandwidth_halves_wire_time(self):
+        from repro.machine import build_custom_platform
+
+        slow = build_custom_platform("tmp-slow", network_bandwidth=5e9,
+                                     network_latency=1e-6, dram_read_bandwidth=14e9)
+        fast = build_custom_platform("tmp-fast", network_bandwidth=10e9,
+                                     network_latency=1e-6, dram_read_bandwidth=14e9)
+        layout = StridedLayout(nblocks=12_500_000)  # 100 MB: wire dominated
+        t_slow = run_pingpong("reference", layout, slow, policy=self.POLICY,
+                              materialize=False).time
+        t_fast = run_pingpong("reference", layout, fast, policy=self.POLICY,
+                              materialize=False).time
+        assert t_slow / t_fast == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_bound_small_messages(self):
+        from repro.machine import build_custom_platform
+
+        near = build_custom_platform("tmp-near", network_bandwidth=12e9,
+                                     network_latency=1e-6, dram_read_bandwidth=14e9)
+        far = build_custom_platform("tmp-far", network_bandwidth=12e9,
+                                    network_latency=10e-6, dram_read_bandwidth=14e9)
+        layout = StridedLayout(nblocks=16)  # 128 B: latency dominated
+        t_near = run_pingpong("reference", layout, near, policy=self.POLICY).time
+        t_far = run_pingpong("reference", layout, far, policy=self.POLICY).time
+        # Two one-way latencies per ping-pong: +18 us expected.
+        assert t_far - t_near == pytest.approx(18e-6, rel=0.05)

@@ -1,0 +1,75 @@
+"""Figure bundles and report generation (quick grids)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import FIGURES, generate_figure
+from repro.analysis.report import build_report
+from repro.core import SweepConfig
+
+
+@pytest.fixture(scope="module")
+def fig1_bundle():
+    return generate_figure("fig1", SweepConfig.quick())
+
+
+class TestFigureBundle:
+    def test_figures_table_complete(self):
+        assert set(FIGURES) == {"fig1", "fig2", "fig3", "fig4"}
+        platforms = [spec.platform for spec in FIGURES.values()]
+        assert platforms == ["skx-impi", "skx-mvapich2", "ls5-cray", "knl-impi"]
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            generate_figure("fig7")
+
+    def test_three_panels(self, fig1_bundle):
+        time_panel = fig1_bundle.time_panel()
+        bw_panel = fig1_bundle.bandwidth_panel()
+        slow_panel = fig1_bundle.slowdown_panel()
+        assert set(time_panel) == set(bw_panel)
+        assert "reference" in time_panel
+        assert "reference" not in slow_panel  # slowdown panel excludes it
+        # bandwidth panel is in GB/s
+        ref_bw = dict(bw_panel["reference"])
+        assert max(ref_bw.values()) < 20
+
+    def test_render_contains_caption_and_tables(self, fig1_bundle):
+        text = fig1_bundle.render()
+        assert "fig1" in text
+        assert "Intel MPI" in text
+        assert "Slowdown vs reference" in text
+        assert "packing(v)" in text
+
+    def test_render_without_charts(self, fig1_bundle):
+        text = fig1_bundle.render(charts=False)
+        assert "legend:" not in text
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # One figure + two cheap experiments keeps this test fast while
+        # exercising the whole report pipeline.
+        return build_report(quick=True, figures=("fig1",),
+                            experiments=("flush", "blocksize"))
+
+    def test_report_structure(self, report):
+        assert "fig1" in report.figures
+        assert "skx-impi" in report.claims
+        assert len(report.experiments) == 2
+
+    def test_markdown_rendering(self, report):
+        text = report.to_markdown()
+        assert text.startswith("# EXPERIMENTS")
+        assert "## fig1" in text
+        assert "Claim checks:" in text
+        assert "### flush" in text
+        assert "- [x]" in text  # at least one passing claim
+
+    def test_quick_claims_pass(self, report):
+        failed = [c for checks in report.claims.values() for c in checks if not c.passed]
+        # The quick grid stops at 10 MB, so large-message claims can be
+        # absent, but nothing present may fail.
+        assert not failed, "\n".join(str(c) for c in failed)

@@ -1,0 +1,116 @@
+"""Integration: the paper's findings hold on real simulated sweeps.
+
+These run the actual simulator (reduced grids, full scheme set) on all
+four platforms and assert every claim from DESIGN.md's shape-target
+list.  This is the reproduction's primary acceptance test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import check_cross_platform_claims, check_platform_claims
+from repro.analysis.crossover import degradation_onset
+from repro.analysis.metrics import asymptotic_slowdown, peak_bandwidth
+from repro.core import SweepConfig, TimingPolicy, default_message_sizes, run_sweep
+from repro.machine import PAPER_PLATFORMS, get_platform
+
+# One shared sweep per platform for the whole module: 8 schemes x 13
+# sizes x 5 iterations keeps the module's runtime moderate.
+_CONFIG = SweepConfig(
+    sizes=tuple(default_message_sizes(1_000, 1_000_000_000, per_decade=2)),
+    policy=TimingPolicy(iterations=5),
+    materialize_limit=1 << 16,
+)
+
+_SWEEPS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module", params=PAPER_PLATFORMS)
+def platform_sweep(request):
+    name = request.param
+    if name not in _SWEEPS:
+        _SWEEPS[name] = run_sweep(name, _CONFIG)
+    return name, _SWEEPS[name]
+
+
+class TestPerPlatformClaims:
+    def test_all_claims_pass(self, platform_sweep):
+        name, sweep = platform_sweep
+        checks = check_platform_claims(sweep, name)
+        failed = [str(c) for c in checks if not c.passed]
+        assert not failed, f"{name}:\n" + "\n".join(failed)
+        # All platforms exercise the full base claim set.
+        assert len(checks) >= 11
+
+    def test_payloads_verified(self, platform_sweep):
+        _, sweep = platform_sweep
+        assert sweep.all_verified()
+
+    def test_smallest_pingpong_in_microsecond_band(self, platform_sweep):
+        """Section 3.2: the minimum measurement ever was ~6e-6 s."""
+        _, sweep = platform_sweep
+        smallest = min(m.time for m in sweep.measurements)
+        assert 1e-6 <= smallest <= 3e-5
+
+    def test_reference_peak_matches_fabric(self, platform_sweep):
+        name, sweep = platform_sweep
+        plat = get_platform(name)
+        peak = peak_bandwidth(sweep.series("reference"))
+        assert peak == pytest.approx(plat.network.bandwidth, rel=0.05)
+
+    def test_derived_degrades_but_packing_v_does_not(self, platform_sweep):
+        _, sweep = platform_sweep
+        assert degradation_onset(sweep, "vector", "copying") is not None
+        assert degradation_onset(sweep, "subarray", "copying") is not None
+        assert degradation_onset(sweep, "packing-vector", "copying") is None
+
+    def test_packing_v_is_best_noncontiguous_at_large(self, platform_sweep):
+        """Section 5: the consistently-best scheme packs a derived type."""
+        _, sweep = platform_sweep
+        large = sweep.sizes()[-1]
+        noncontig = [k for k in sweep.schemes() if k not in ("reference", "copying")]
+        times = {k: sweep.series(k).time_at(large) for k in noncontig}
+        assert min(times, key=times.get) == "packing-vector"
+
+    def test_vector_and_subarray_indistinguishable(self, platform_sweep):
+        _, sweep = platform_sweep
+        vec = sweep.series("vector")
+        sub = sweep.series("subarray")
+        for size in sweep.sizes():
+            assert vec.time_at(size) == pytest.approx(sub.time_at(size), rel=0.02)
+
+
+class TestCrossPlatform:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        for name in PAPER_PLATFORMS:
+            if name not in _SWEEPS:
+                _SWEEPS[name] = run_sweep(name, _CONFIG)
+        return dict(_SWEEPS)
+
+    def test_cross_platform_claims(self, sweeps):
+        checks = check_cross_platform_claims(sweeps)
+        failed = [str(c) for c in checks if not c.passed]
+        assert not failed, "\n".join(failed)
+        assert len(checks) == 3
+
+    def test_knl_slowdowns_exceed_skx_for_all_noncontiguous(self, sweeps):
+        """Figure 4's message: every non-contiguous scheme suffers more
+        on KNL while the reference stays at the same peak."""
+        for key in ("copying", "vector", "packing-vector", "buffered"):
+            skx = asymptotic_slowdown(sweeps["skx-impi"], key)
+            knl = asymptotic_slowdown(sweeps["knl-impi"], key)
+            assert knl > 1.3 * skx, key
+
+    def test_mvapich_onesided_is_the_outlier(self, sweeps):
+        """Section 4.4: one-sided intermediate-size behaviour separates
+        the installations; MVAPICH2 is several factors slower."""
+        mid = 1_000_000
+
+        def onesided_ratio(sweep):
+            return dict(sweep.slowdowns("onesided"))[mid] / dict(sweep.slowdowns("copying"))[mid]
+
+        assert onesided_ratio(sweeps["skx-mvapich2"]) > 1.9
+        assert onesided_ratio(sweeps["skx-impi"]) < 1.5
+        assert onesided_ratio(sweeps["ls5-cray"]) < 1.5

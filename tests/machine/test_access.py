@@ -1,0 +1,71 @@
+"""AccessPattern tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AccessPattern, contiguous_pattern
+
+
+def test_contiguous_pattern_basics():
+    p = contiguous_pattern(1000)
+    assert p.total_bytes == 1000
+    assert p.is_contiguous
+    assert p.density == 1.0
+    assert p.nblocks == 1
+
+
+def test_empty_pattern():
+    p = contiguous_pattern(0)
+    assert p.total_bytes == 0
+    assert p.is_contiguous
+    assert p.density == 1.0
+
+
+def test_strided_pattern_density():
+    p = AccessPattern(total_bytes=800, block_bytes=8.0, nblocks=100, span_bytes=1600)
+    assert not p.is_contiguous
+    assert p.density == 0.5
+
+
+def test_scaled_multiplies_extensive_fields():
+    p = AccessPattern(total_bytes=800, block_bytes=8.0, nblocks=100, span_bytes=1600,
+                      regularity=0.7)
+    q = p.scaled(3)
+    assert q.total_bytes == 2400
+    assert q.nblocks == 300
+    assert q.span_bytes == 4800
+    assert q.block_bytes == 8.0
+    assert q.regularity == 0.7
+
+
+def test_scaled_identity_and_zero():
+    p = AccessPattern(total_bytes=8, block_bytes=8.0, nblocks=1, span_bytes=8)
+    assert p.scaled(1) is p
+    assert p.scaled(0).total_bytes == 0
+
+
+def test_scaled_negative_rejected():
+    p = contiguous_pattern(8)
+    with pytest.raises(ValueError):
+        p.scaled(-1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(total_bytes=-1, block_bytes=1.0, nblocks=1, span_bytes=1),
+        dict(total_bytes=8, block_bytes=0.0, nblocks=1, span_bytes=8),
+        dict(total_bytes=8, block_bytes=8.0, nblocks=-1, span_bytes=8),
+        dict(total_bytes=8, block_bytes=8.0, nblocks=1, span_bytes=4),
+        dict(total_bytes=8, block_bytes=8.0, nblocks=1, span_bytes=8, regularity=1.5),
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        AccessPattern(**kwargs)
+
+
+def test_negative_contiguous_rejected():
+    with pytest.raises(ValueError):
+        contiguous_pattern(-1)

@@ -1,0 +1,94 @@
+"""Cache hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import CacheHierarchy, CacheLevel
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 32 * 1024, 100e9, 80e9),
+            CacheLevel("L2", 1024 * 1024, 50e9, 40e9),
+            CacheLevel("L3", 32 * 1024 * 1024, 25e9, 20e9),
+        ),
+        dram_read_bandwidth=10e9,
+        dram_write_bandwidth=8e9,
+    )
+
+
+def test_serving_level_by_size(hierarchy):
+    assert hierarchy.serving_level(1000, warm=True).name == "L1"
+    assert hierarchy.serving_level(100_000, warm=True).name == "L2"
+    assert hierarchy.serving_level(10_000_000, warm=True).name == "L3"
+    assert hierarchy.serving_level(100_000_000, warm=True) is None
+
+
+def test_cold_always_dram(hierarchy):
+    assert hierarchy.serving_level(1000, warm=False) is None
+    assert hierarchy.read_bandwidth(1000, warm=False) == 10e9
+    assert hierarchy.write_bandwidth(1000, warm=False) == 8e9
+
+
+def test_warm_bandwidths(hierarchy):
+    assert hierarchy.read_bandwidth(1000, warm=True) == 100e9
+    assert hierarchy.write_bandwidth(100_000, warm=True) == 40e9
+
+
+def test_boundary_inclusive(hierarchy):
+    assert hierarchy.serving_level(32 * 1024, warm=True).name == "L1"
+    assert hierarchy.serving_level(32 * 1024 + 1, warm=True).name == "L2"
+
+
+def test_flush_cost_scales(hierarchy):
+    c1 = hierarchy.flush_cost(50_000_000)
+    expected = 50e6 / 10e9 + 50e6 / 8e9
+    assert c1 == pytest.approx(expected)
+    assert hierarchy.flush_cost(0) == 0.0
+
+
+def test_flush_cost_negative_rejected(hierarchy):
+    with pytest.raises(ValueError):
+        hierarchy.flush_cost(-1)
+
+
+def test_no_levels_allowed():
+    h = CacheHierarchy(levels=(), dram_read_bandwidth=1e9, dram_write_bandwidth=1e9)
+    assert h.last_level_capacity == 0
+    assert h.serving_level(10, warm=True) is None
+
+
+def test_last_level_capacity(hierarchy):
+    assert hierarchy.last_level_capacity == 32 * 1024 * 1024
+
+
+def test_validation_increasing_capacities():
+    with pytest.raises(ValueError, match="increasing"):
+        CacheHierarchy(
+            levels=(
+                CacheLevel("L1", 1024, 1e9, 1e9),
+                CacheLevel("L2", 1024, 2e9, 2e9),
+            ),
+            dram_read_bandwidth=1e9,
+            dram_write_bandwidth=1e9,
+        )
+
+
+def test_validation_line_size():
+    with pytest.raises(ValueError, match="power of two"):
+        CacheHierarchy(levels=(), dram_read_bandwidth=1e9, dram_write_bandwidth=1e9, line_size=48)
+
+
+def test_validation_level_fields():
+    with pytest.raises(ValueError):
+        CacheLevel("bad", 0, 1e9, 1e9)
+    with pytest.raises(ValueError):
+        CacheLevel("bad", 1024, 0, 1e9)
+
+
+def test_negative_working_set_rejected(hierarchy):
+    with pytest.raises(ValueError):
+        hierarchy.serving_level(-1, warm=True)

@@ -1,0 +1,34 @@
+"""CPU model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import CpuModel
+
+
+def test_defaults_positive():
+    cpu = CpuModel()
+    assert cpu.call_overhead > 0
+    assert cpu.pack_element_overhead > 0
+
+
+def test_pack_loop_cost_scales_linearly():
+    cpu = CpuModel(pack_element_overhead=5e-9)
+    assert cpu.pack_loop_cost(0) == 0.0
+    assert cpu.pack_loop_cost(1) == pytest.approx(5e-9)
+    assert cpu.pack_loop_cost(1_000_000) == pytest.approx(5e-3)
+
+
+def test_pack_loop_negative_rejected():
+    with pytest.raises(ValueError):
+        CpuModel().pack_loop_cost(-1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CpuModel(call_overhead=-1.0)
+    with pytest.raises(ValueError):
+        CpuModel(pack_element_overhead=-1.0)
+    with pytest.raises(ValueError):
+        CpuModel(datatype_setup_overhead=-1.0)

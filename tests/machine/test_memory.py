@@ -1,0 +1,133 @@
+"""Memory model tests: traffic estimation and copy-loop pricing.
+
+These pin the paper's section 2.2 arithmetic: a stride-2 gather of N
+payload bytes generates ~2N of read traffic, and the exposed cost is
+reads plus half the writes (the other half hides behind the loads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AccessPattern, CacheHierarchy, CacheLevel, MemoryModel, contiguous_pattern
+
+
+@pytest.fixture
+def flat_model():
+    """No caches; DRAM read 10 GB/s, write 10 GB/s; free loop."""
+    hierarchy = CacheHierarchy(levels=(), dram_read_bandwidth=10e9, dram_write_bandwidth=10e9)
+    return MemoryModel(hierarchy=hierarchy, loop_iteration_cost=0.0)
+
+
+def stride2(nbytes: int) -> AccessPattern:
+    """The paper's layout: every other double."""
+    return AccessPattern(
+        total_bytes=nbytes, block_bytes=8.0, nblocks=nbytes // 8, span_bytes=2 * nbytes
+    )
+
+
+class TestReadTraffic:
+    def test_contiguous_traffic_equals_payload(self, flat_model):
+        assert flat_model.read_traffic(contiguous_pattern(4096)) == 4096
+
+    def test_stride2_traffic_is_span(self, flat_model):
+        # Blocks 16 bytes apart: every cache line of the span is touched.
+        assert flat_model.read_traffic(stride2(8000)) == 16000
+
+    def test_sparse_blocks_touch_isolated_lines(self, flat_model):
+        # 8-byte blocks 4096 bytes apart: about (8/64 + 1) lines each.
+        p = AccessPattern(total_bytes=800, block_bytes=8.0, nblocks=100, span_bytes=4096 * 99 + 8)
+        traffic = flat_model.read_traffic(p)
+        assert traffic == pytest.approx(100 * (8 / 64 + 1) * 64)
+
+    def test_traffic_never_below_payload(self, flat_model):
+        p = AccessPattern(total_bytes=64, block_bytes=64.0, nblocks=1, span_bytes=64)
+        assert flat_model.read_traffic(p) >= 64
+
+    def test_empty_pattern_no_traffic(self, flat_model):
+        assert flat_model.read_traffic(contiguous_pattern(0)) == 0.0
+
+
+class TestGatherCost:
+    def test_stride2_cost_matches_paper_arithmetic(self, flat_model):
+        n = 1_000_000
+        cost = flat_model.gather_cost(stride2(n), warm=False)
+        # reads 2N at 10 GB/s, half the writes exposed at 10 GB/s
+        assert cost.read_time == pytest.approx(2 * n / 10e9)
+        assert cost.write_time == pytest.approx(n / 10e9)
+        assert cost.total == pytest.approx((2 * n + 0.5 * n) / 10e9)
+
+    def test_loop_bound_when_core_is_slow(self):
+        hierarchy = CacheHierarchy(levels=(), dram_read_bandwidth=100e9, dram_write_bandwidth=100e9)
+        slow_core = MemoryModel(hierarchy=hierarchy, loop_iteration_cost=10e-9)
+        cost = slow_core.gather_cost(stride2(80_000), warm=False)
+        assert cost.total == pytest.approx(10_000 * 10e-9)  # 10k blocks x 10ns
+
+    def test_zero_pattern_costs_nothing(self, flat_model):
+        cost = flat_model.gather_cost(contiguous_pattern(0))
+        assert cost.total == 0.0
+
+    def test_irregularity_slows_reads(self, flat_model):
+        regular = stride2(80_000)
+        irregular = AccessPattern(
+            total_bytes=80_000, block_bytes=8.0, nblocks=10_000, span_bytes=160_000,
+            regularity=0.0,
+        )
+        t_reg = flat_model.gather_cost(regular, warm=False).total
+        t_irr = flat_model.gather_cost(irregular, warm=False).total
+        assert t_irr > t_reg
+        # Fully irregular: bandwidth scaled by random_access_factor.
+        assert t_irr == pytest.approx(
+            2 * 80_000 / (10e9 * flat_model.random_access_factor) + 0.5 * 80_000 / 10e9
+        )
+
+    def test_warm_cache_speeds_up_when_fits(self):
+        hierarchy = CacheHierarchy(
+            levels=(CacheLevel("L2", 1 << 20, 50e9, 40e9),),
+            dram_read_bandwidth=10e9,
+            dram_write_bandwidth=10e9,
+        )
+        model = MemoryModel(hierarchy=hierarchy, loop_iteration_cost=0.0)
+        pattern = stride2(100_000)  # span 200 KB < 1 MiB
+        cold = model.gather_cost(pattern, warm=False).total
+        warm = model.gather_cost(pattern, warm=True).total
+        assert warm < cold
+
+    def test_warm_no_help_when_exceeds_cache(self):
+        hierarchy = CacheHierarchy(
+            levels=(CacheLevel("L2", 1 << 20, 50e9, 40e9),),
+            dram_read_bandwidth=10e9,
+            dram_write_bandwidth=10e9,
+        )
+        model = MemoryModel(hierarchy=hierarchy, loop_iteration_cost=0.0)
+        pattern = stride2(10_000_000)  # span 20 MB >> 1 MiB
+        cold = model.gather_cost(pattern, warm=False).read_time
+        warm = model.gather_cost(pattern, warm=True).read_time
+        assert warm == cold
+
+
+class TestScatterAndMemcpy:
+    def test_scatter_mirrors_gather_shape(self, flat_model):
+        p = stride2(1_000_000)
+        g = flat_model.gather_cost(p, warm=False)
+        s = flat_model.scatter_cost(p, warm=False)
+        # Strided traffic moves to the write side.
+        assert s.write_time == pytest.approx(g.read_time)
+        assert s.read_time == pytest.approx(1_000_000 / 10e9)
+
+    def test_memcpy_cost(self, flat_model):
+        n = 1_000_000
+        assert flat_model.contiguous_copy_cost(n, warm=False) == pytest.approx(1.5 * n / 10e9)
+        assert flat_model.contiguous_copy_cost(0) == 0.0
+
+    def test_memcpy_negative_rejected(self, flat_model):
+        with pytest.raises(ValueError):
+            flat_model.contiguous_copy_cost(-1)
+
+
+def test_model_validation():
+    hierarchy = CacheHierarchy(levels=(), dram_read_bandwidth=1e9, dram_write_bandwidth=1e9)
+    with pytest.raises(ValueError):
+        MemoryModel(hierarchy=hierarchy, loop_iteration_cost=-1.0)
+    with pytest.raises(ValueError):
+        MemoryModel(hierarchy=hierarchy, random_access_factor=0.0)

@@ -1,0 +1,67 @@
+"""Network model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(
+        latency=1e-6,
+        bandwidth=10e9,
+        send_overhead=0.5e-6,
+        recv_overhead=0.5e-6,
+        per_node_bandwidth=20e9,
+    )
+
+
+def test_wire_time(net):
+    assert net.wire_time(10_000) == pytest.approx(1e-6)
+    assert net.wire_time(0) == 0.0
+
+
+def test_point_to_point_time(net):
+    assert net.point_to_point_time(10_000) == pytest.approx(2e-6)
+
+
+def test_stream_sharing(net):
+    assert net.stream_bandwidth(1) == 10e9
+    assert net.stream_bandwidth(2) == 10e9  # 20e9 / 2, capped at single-stream
+    assert net.stream_bandwidth(4) == 5e9
+
+
+def test_default_node_bandwidth_is_single_stream():
+    net = NetworkModel(latency=1e-6, bandwidth=10e9)
+    assert net.node_bandwidth == 10e9
+    assert net.stream_bandwidth(2) == 5e9
+
+
+def test_wire_time_with_streams(net):
+    assert net.wire_time(10_000, concurrent_streams=4) == pytest.approx(2e-6)
+
+
+def test_negative_bytes_rejected(net):
+    with pytest.raises(ValueError):
+        net.wire_time(-1)
+
+
+def test_bad_stream_count_rejected(net):
+    with pytest.raises(ValueError):
+        net.stream_bandwidth(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(latency=-1e-6, bandwidth=1e9),
+        dict(latency=1e-6, bandwidth=0),
+        dict(latency=1e-6, bandwidth=1e9, send_overhead=-1),
+        dict(latency=1e-6, bandwidth=1e9, per_node_bandwidth=0),
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        NetworkModel(**kwargs)

@@ -1,0 +1,61 @@
+"""Noise model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import NoiseModel
+
+
+def test_disabled_noise_is_identity():
+    noise = NoiseModel(sigma=0.0, outlier_probability=0.0)
+    rng = noise.rng(0)
+    assert not noise.enabled
+    assert noise.perturb(1.5, rng) == 1.5
+
+
+def test_jitter_is_multiplicative_and_small():
+    noise = NoiseModel(sigma=0.01, seed=7)
+    rng = noise.rng(0)
+    values = [noise.perturb(1.0, rng) for _ in range(200)]
+    assert all(v > 0 for v in values)
+    assert np.std(values) == pytest.approx(0.01, rel=0.5)
+    assert np.mean(values) == pytest.approx(1.0, rel=0.05)
+
+
+def test_reproducible_streams():
+    noise = NoiseModel(sigma=0.05, seed=42)
+    a = [noise.perturb(1.0, noise.rng(3)) for _ in range(1)]
+    b = [noise.perturb(1.0, noise.rng(3)) for _ in range(1)]
+    assert a == b
+    c = noise.perturb(1.0, noise.rng(4))
+    assert c != a[0]
+
+
+def test_outliers_fire_at_configured_rate():
+    noise = NoiseModel(sigma=0.0, outlier_probability=0.5, outlier_factor=10.0, seed=1)
+    rng = noise.rng(0)
+    values = [noise.perturb(1.0, rng) for _ in range(400)]
+    n_outliers = sum(1 for v in values if v > 5.0)
+    assert 120 <= n_outliers <= 280
+
+
+def test_zero_value_unchanged():
+    noise = NoiseModel(sigma=0.1)
+    assert noise.perturb(0.0, noise.rng(0)) == 0.0
+
+
+def test_negative_value_rejected():
+    noise = NoiseModel()
+    with pytest.raises(ValueError):
+        noise.perturb(-1.0, noise.rng(0))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(sigma=-0.1), dict(outlier_probability=1.5), dict(outlier_factor=0.5)],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        NoiseModel(**kwargs)

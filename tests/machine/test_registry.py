@@ -1,0 +1,115 @@
+"""Platform registry and calibration-sanity tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    PAPER_PLATFORMS,
+    NoiseModel,
+    build_custom_platform,
+    get_platform,
+    iter_platforms,
+    list_platforms,
+    register_platform,
+)
+
+
+def test_paper_platforms_present():
+    names = list_platforms()
+    for name in PAPER_PLATFORMS:
+        assert name in names
+    assert "ideal" in names
+
+
+def test_unknown_platform_lists_known():
+    with pytest.raises(KeyError, match="skx-impi"):
+        get_platform("nonexistent")
+
+
+def test_figures_map_one_to_one():
+    figs = [get_platform(p).figure for p in PAPER_PLATFORMS]
+    assert figs == ["fig1", "fig2", "fig3", "fig4"]
+
+
+def test_platforms_are_fresh_instances():
+    a = get_platform("skx-impi")
+    b = get_platform("skx-impi")
+    assert a is not b and a.name == b.name
+
+
+def test_calibration_anchors():
+    """The headline calibration facts DESIGN.md promises."""
+    skx = get_platform("skx-impi")
+    knl = get_platform("knl-impi")
+    cray = get_platform("ls5-cray")
+    # Same network peak on skx and knl (section 4.8), lower on the Cray.
+    assert skx.network.bandwidth == knl.network.bandwidth
+    assert cray.network.bandwidth < skx.network.bandwidth
+    # KNL's core is far slower at driving a copy loop.
+    assert knl.memory.loop_iteration_cost > 3 * skx.memory.loop_iteration_cost
+    assert knl.memory.hierarchy.dram_read_bandwidth < skx.memory.hierarchy.dram_read_bandwidth
+    # MVAPICH2's one-sided penalty (section 4.4).
+    assert get_platform("skx-mvapich2").tuning.onesided_bw_factor <= 0.5
+    # Cray quirks (section 4.5).
+    assert cray.tuning.quirks["derived_always_rendezvous"] is True
+    assert cray.tuning.quirks["packed_eager_limit_factor"] == 2.0
+
+
+def test_ideal_platform_is_frictionless():
+    ideal = get_platform("ideal")
+    assert ideal.cpu.call_overhead == 0.0
+    assert ideal.network.send_overhead == 0.0
+    assert ideal.memory.hierarchy.levels == ()
+
+
+def test_describe_mentions_key_numbers():
+    text = get_platform("skx-impi").describe()
+    assert "12.30 GB/s" in text
+    assert "fig1" in text
+
+
+def test_iter_platforms_yields_all():
+    assert {p.name for p in iter_platforms()} == set(list_platforms())
+
+
+def test_register_custom_platform():
+    custom = get_platform("ideal").with_name("my-cluster", "a made-up machine")
+    register_platform(custom)
+    try:
+        assert get_platform("my-cluster").description == "a made-up machine"
+        with pytest.raises(ValueError, match="already registered"):
+            register_platform(custom)
+        register_platform(custom, overwrite=True)  # allowed
+    finally:
+        from repro.machine import registry
+
+        registry._CUSTOM.pop("my-cluster", None)
+
+
+def test_builtin_cannot_be_overwritten():
+    custom = get_platform("ideal").with_name("skx-impi")
+    with pytest.raises(ValueError, match="built-in"):
+        register_platform(custom)
+
+
+def test_build_custom_platform():
+    plat = build_custom_platform(
+        "toy",
+        network_bandwidth=5e9,
+        network_latency=2e-6,
+        dram_read_bandwidth=8e9,
+        eager_limit=1024,
+    )
+    assert plat.network.bandwidth == 5e9
+    assert plat.memory.hierarchy.dram_read_bandwidth == 8e9
+    assert plat.tuning.eager_limit == 1024
+    # Inherits the rest from the base profile.
+    assert plat.cpu.call_overhead == get_platform("skx-impi").cpu.call_overhead
+
+
+def test_with_noise_returns_copy():
+    plat = get_platform("ideal")
+    noisy = plat.with_noise(NoiseModel(sigma=0.1))
+    assert plat.noise is None
+    assert noisy.noise is not None and noisy.name == plat.name

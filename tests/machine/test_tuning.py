@@ -1,0 +1,75 @@
+"""MPI tuning profile tests, including the protocol-selection quirks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MpiTuning
+
+
+def test_defaults_are_valid():
+    t = MpiTuning()
+    assert t.eager_limit == 64 * 1024
+
+
+def test_uses_eager_basic():
+    t = MpiTuning(eager_limit=1000)
+    assert t.uses_eager(1000)
+    assert not t.uses_eager(1001)
+    assert t.uses_eager(0)
+
+
+def test_eager_limit_none_clamped_to_implementation_cap():
+    t = MpiTuning(eager_limit=None, max_eager_bytes=4096)
+    assert t.effective_eager_limit() == 4096
+    assert t.uses_eager(4096)
+    assert not t.uses_eager(4097)
+
+
+def test_configured_limit_clamped_to_cap():
+    t = MpiTuning(eager_limit=1 << 30, max_eager_bytes=8192)
+    assert t.effective_eager_limit() == 8192
+
+
+def test_packed_quirk_doubles_limit():
+    t = MpiTuning(eager_limit=1000, quirks={"packed_eager_limit_factor": 2.0})
+    assert t.uses_eager(1500, packed=True)
+    assert not t.uses_eager(1500, packed=False)
+    assert t.effective_eager_limit(packed=True) == 2000
+
+
+def test_derived_always_rendezvous_quirk():
+    t = MpiTuning(eager_limit=1000, quirks={"derived_always_rendezvous": True})
+    assert not t.uses_eager(10, derived=True)
+    assert t.uses_eager(10, derived=False)
+
+
+def test_with_eager_limit_copies():
+    t = MpiTuning(eager_limit=1000, bsend_bw_factor=0.5)
+    u = t.with_eager_limit(2000)
+    assert u.eager_limit == 2000
+    assert u.bsend_bw_factor == 0.5
+    assert t.eager_limit == 1000  # original untouched
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(eager_limit=-1),
+        dict(max_eager_bytes=0),
+        dict(rendezvous_extra_hops=-1),
+        dict(rendezvous_overhead=-1e-6),
+        dict(internal_chunk_bytes=0),
+        dict(chunk_bookkeeping=-1.0),
+        dict(large_message_bw_factor=0.0),
+        dict(large_message_bw_factor=1.5),
+        dict(bsend_bw_factor=2.0),
+        dict(onesided_bw_factor=0.0),
+        dict(pack_bw_factor=0.0),
+        dict(bsend_overhead_bytes=-1),
+        dict(fence_base=-1.0),
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        MpiTuning(**kwargs)

@@ -1,0 +1,70 @@
+"""Unit-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bandwidth,
+    format_bytes,
+    format_time,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("17", 17),
+            ("1k", KB),
+            ("1KB", KB),
+            ("2.5MB", int(2.5 * MB)),
+            ("1g", GB),
+            ("64KiB", 64 * KIB),
+            ("8MiB", 8 * MIB),
+            ("1GiB", GIB),
+            ("1e6", 1_000_000),
+            ("  3 kb ", 3 * KB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_numbers_pass_through(self):
+        assert parse_bytes(1024) == 1024
+        assert parse_bytes(1.5e3) == 1500
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1XB", "-5", "1..2k"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-3)
+
+
+class TestFormatting:
+    def test_format_bytes_scales(self):
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(1500) == "1.50 KB"
+        assert format_bytes(2_500_000) == "2.50 MB"
+        assert format_bytes(1.2e9) == "1.20 GB"
+
+    def test_format_time_scales(self):
+        assert format_time(0) == "0 s"
+        assert format_time(2.0) == "2.000 s"
+        assert format_time(1.5e-3) == "1.500 ms"
+        assert format_time(2e-6) == "2.000 us"
+        assert format_time(5e-9) == "5.0 ns"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(12.3e9) == "12.300 GB/s"

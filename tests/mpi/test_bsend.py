@@ -1,0 +1,164 @@
+"""Buffered-send tests: attach/detach accounting and Bsend semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import BSEND_OVERHEAD, BufferError_, DOUBLE, make_vector, run_mpi
+
+
+class TestAttachDetach:
+    def test_bsend_requires_attach(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Bsend(doubles(4), dest=1)
+
+        with pytest.raises(BufferError_, match="Buffer_attach"):
+            run_mpi(main, 2, ideal)
+
+    def test_double_attach_rejected(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(1000)
+                comm.Buffer_attach(1000)
+
+        with pytest.raises(BufferError_, match="already attached"):
+            run_mpi(main, 2, ideal)
+
+    def test_detach_without_attach_rejected(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_detach()
+
+        with pytest.raises(BufferError_, match="no buffer"):
+            run_mpi(main, 2, ideal)
+
+    def test_detach_returns_capacity(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(12345)
+                return comm.Buffer_detach()
+
+        assert run_mpi(main, 2, ideal).results[0] == 12345
+
+
+class TestBsendSemantics:
+    def test_bsend_delivers_payload(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(10_000)
+                comm.Bsend(doubles(100), dest=1)
+                comm.Recv(np.empty(0, np.uint8), source=1, count=0)
+                comm.Buffer_detach()
+            else:
+                buf = np.zeros(100, np.float64)
+                comm.Recv(buf, source=0)
+                comm.Send(np.empty(0, np.uint8), dest=0, count=0)
+                return buf.copy()
+
+        out = run_mpi(main, 2, ideal).results[1]
+        assert np.array_equal(out, np.arange(100, dtype=np.float64))
+
+    def test_bsend_of_derived_type(self, ideal, doubles):
+        def main(comm):
+            vec = make_vector(50, 1, 2, DOUBLE).commit()
+            if comm.rank == 0:
+                comm.Buffer_attach(4000)
+                comm.Bsend(doubles(100), dest=1, count=1, datatype=vec)
+                comm.Recv(np.empty(0, np.uint8), source=1, count=0)
+            else:
+                buf = np.zeros(50, np.float64)
+                comm.Recv(buf, source=0)
+                comm.Send(np.empty(0, np.uint8), dest=0, count=0)
+                return buf.copy()
+
+        out = run_mpi(main, 2, ideal).results[1]
+        assert np.array_equal(out, np.arange(0, 100, 2, dtype=np.float64))
+
+    def test_bsend_returns_before_receiver_posts(self, ideal, doubles):
+        """Even a rendezvous-sized Bsend returns after the local copy."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(100_000)
+                comm.Bsend(doubles(5000), dest=1)  # 40 kB >> eager limit
+                t_returned = comm.Wtime()
+                comm.Recv(np.empty(0, np.uint8), source=1, count=0)
+                return t_returned
+            comm.process.task.sleep(0.5)  # receiver very late
+            buf = np.zeros(5000, np.float64)
+            comm.Recv(buf, source=0)
+            assert buf[4999] == 4999.0
+            comm.Send(np.empty(0, np.uint8), dest=0, count=0)
+
+        t_returned = run_mpi(main, 2, ideal).results[0]
+        # Bsend returned after the local copy (~6 us), not after 0.5 s.
+        assert t_returned < 1e-4
+
+    def test_capacity_exhaustion(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(800 + BSEND_OVERHEAD)  # room for ONE message
+                comm.Bsend(doubles(100), dest=1)
+                comm.Bsend(doubles(100), dest=1)  # no room: first not drained
+
+        with pytest.raises(BufferError_, match="exhausted"):
+            run_mpi(main, 2, ideal)
+
+    def test_reservation_released_after_drain(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(800 + BSEND_OVERHEAD)
+                for i in range(3):
+                    comm.Bsend(doubles(100), dest=1, tag=i)
+                    comm.Recv(np.empty(0, np.uint8), source=1, count=0, tag=i)
+                return comm.Buffer_detach()
+            else:
+                for i in range(3):
+                    buf = np.zeros(100, np.float64)
+                    comm.Recv(buf, source=0, tag=i)
+                    comm.Send(np.empty(0, np.uint8), dest=0, count=0, tag=i)
+
+        assert run_mpi(main, 2, ideal).results[0] == 800 + BSEND_OVERHEAD
+
+    def test_detach_with_in_flight_message_rejected(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Buffer_attach(100_000)
+                comm.Bsend(doubles(5000), dest=1)  # rendezvous; not drained
+                comm.Buffer_detach()
+
+        # rank1 never receives: transfer cannot drain -> detach must fail
+        def full_main(comm):
+            if comm.rank == 0:
+                return main(comm)
+            comm.process.task.sleep(10.0)
+
+        with pytest.raises(BufferError_, match="in flight"):
+            run_mpi(full_main, 2, ideal)
+
+    def test_bsend_slower_wire_than_send(self, skx, doubles):
+        """The bsend bandwidth derating shows up in delivery time."""
+        from repro.mpi import SimBuffer
+
+        n = 1_000_000
+
+        def make(use_bsend):
+            def main(comm):
+                if comm.rank == 0:
+                    buf = SimBuffer.virtual(n)
+                    if use_bsend:
+                        comm.Buffer_attach(n + BSEND_OVERHEAD)
+                        comm.Bsend(buf, dest=1)
+                    else:
+                        comm.Send(buf, dest=1)
+                else:
+                    out = SimBuffer.virtual(n)
+                    comm.Recv(out, source=0)
+                    return comm.Wtime()
+            return main
+
+        t_send = run_mpi(make(False), 2, skx).results[1]
+        t_bsend = run_mpi(make(True), 2, skx).results[1]
+        assert t_bsend > t_send

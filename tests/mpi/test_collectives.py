@@ -1,0 +1,155 @@
+"""Collective tests over the p2p substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import CommunicatorError, run_mpi
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 8])
+class TestBarrier:
+    def test_barrier_synchronizes(self, ideal, nranks):
+        def main(comm):
+            comm.process.task.sleep(comm.rank * 0.1)
+            comm.Barrier()
+            return comm.Wtime()
+
+        times = run_mpi(main, nranks, ideal).results
+        # Everyone leaves at (or after) the slowest arrival.
+        slowest = (nranks - 1) * 0.1
+        assert all(t >= slowest for t in times)
+        assert max(times) - min(times) < 1e-4  # released together-ish
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+class TestBcast:
+    def test_bcast_delivers_everywhere(self, ideal, nranks, root):
+        def main(comm):
+            data = (
+                np.arange(16, dtype=np.float64) if comm.rank == root
+                else np.zeros(16, np.float64)
+            )
+            comm.Bcast(data, root=root)
+            return data.copy()
+
+        results = run_mpi(main, nranks, ideal).results
+        for arr in results:
+            assert np.array_equal(arr, np.arange(16, dtype=np.float64))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("nranks", [2, 4, 6])
+    def test_sum(self, ideal, nranks):
+        def main(comm):
+            send = np.full(4, float(comm.rank + 1))
+            recv = np.zeros(4) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op="sum", root=0)
+            return recv[0] if comm.rank == 0 else None
+
+        total = run_mpi(main, nranks, ideal).results[0]
+        assert total == sum(range(1, nranks + 1))
+
+    @pytest.mark.parametrize("op,expected", [("max", 3.0), ("min", 0.0), ("prod", 0.0)])
+    def test_other_ops(self, ideal, op, expected):
+        def main(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros(2) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op=op, root=0)
+            return recv[0] if comm.rank == 0 else None
+
+        assert run_mpi(main, 4, ideal).results[0] == expected
+
+    def test_nonzero_root(self, ideal):
+        def main(comm):
+            send = np.array([float(comm.rank)])
+            recv = np.zeros(1) if comm.rank == 2 else None
+            comm.Reduce(send, recv, op="sum", root=2)
+            return recv[0] if comm.rank == 2 else None
+
+        assert run_mpi(main, 4, ideal).results[2] == 6.0
+
+    def test_unknown_op_rejected(self, ideal):
+        def main(comm):
+            comm.Reduce(np.zeros(1), np.zeros(1), op="xor", root=0)
+
+        with pytest.raises(CommunicatorError, match="xor"):
+            run_mpi(main, 2, ideal)
+
+    def test_root_needs_recvbuf(self, ideal):
+        def main(comm):
+            comm.Reduce(np.zeros(1), None, op="sum", root=0)
+
+        with pytest.raises(CommunicatorError, match="recvbuf"):
+            run_mpi(main, 2, ideal)
+
+
+class TestAllreduceGather:
+    @pytest.mark.parametrize("nranks", [2, 3, 8])
+    def test_allreduce(self, ideal, nranks):
+        def main(comm):
+            send = np.full(3, float(comm.rank))
+            recv = np.zeros(3)
+            comm.Allreduce(send, recv, op="sum")
+            return recv[1]
+
+        expected = sum(range(nranks))
+        assert run_mpi(main, nranks, ideal).results == [expected] * nranks
+
+    def test_gather(self, ideal):
+        def main(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros((comm.size, 2)) if comm.rank == 0 else None
+            comm.Gather(send, recv, root=0)
+            return recv.copy() if comm.rank == 0 else None
+
+        out = run_mpi(main, 4, ideal).results[0]
+        assert np.array_equal(out[:, 0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_gather_shape_checked(self, ideal):
+        def main(comm):
+            recv = np.zeros((1, 2)) if comm.rank == 0 else None
+            comm.Gather(np.zeros(2), recv, root=0)
+
+        with pytest.raises(CommunicatorError, match="first dimension"):
+            run_mpi(main, 3, ideal)
+
+    @pytest.mark.parametrize("nranks", [2, 5])
+    def test_allgather(self, ideal, nranks):
+        def main(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros((comm.size, 2))
+            comm.Allgather(send, recv)
+            return recv[:, 0].copy()
+
+        results = run_mpi(main, nranks, ideal).results
+        for arr in results:
+            assert np.array_equal(arr, np.arange(nranks, dtype=np.float64))
+
+
+class TestCollectiveTiming:
+    def test_bcast_scales_logarithmically(self, ideal):
+        def timed(nranks):
+            def main(comm):
+                data = np.zeros(16, np.float64)
+                comm.Bcast(data, root=0)
+                return comm.Wtime()
+            return max(run_mpi(main, nranks, ideal).results)
+
+        t2, t8 = timed(2), timed(8)
+        # binomial tree: ~log2(n) rounds, so 8 ranks ~ 3x the 2-rank time
+        assert 2.0 <= t8 / t2 <= 4.5
+
+    def test_consecutive_collectives_do_not_cross_talk(self, ideal):
+        def main(comm):
+            a = np.full(2, float(comm.rank))
+            out1 = np.zeros(2)
+            out2 = np.zeros(2)
+            comm.Allreduce(a, out1, op="sum")
+            comm.Allreduce(a * 2, out2, op="sum")
+            return (out1[0], out2[0])
+
+        results = run_mpi(main, 4, ideal).results
+        assert all(r == (6.0, 12.0) for r in results)

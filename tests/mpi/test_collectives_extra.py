@@ -1,0 +1,116 @@
+"""Tests for Scatter, Alltoall, and Sendrecv_replace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import CommunicatorError, run_mpi
+
+
+class TestScatter:
+    @pytest.mark.parametrize("nranks", [2, 4, 5])
+    def test_each_rank_gets_its_slot(self, ideal, nranks):
+        def main(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(comm.size * 3, dtype=np.float64).reshape(comm.size, 3)
+            recv = np.zeros(3)
+            comm.Scatter(send, recv, root=0)
+            return recv.copy()
+
+        results = run_mpi(main, nranks, ideal).results
+        for rank, arr in enumerate(results):
+            assert np.array_equal(arr, np.arange(rank * 3, rank * 3 + 3))
+
+    def test_nonzero_root(self, ideal):
+        def main(comm):
+            send = np.full((comm.size, 1), 7.0) if comm.rank == 1 else None
+            recv = np.zeros(1)
+            comm.Scatter(send, recv, root=1)
+            return recv[0]
+
+        assert run_mpi(main, 3, ideal).results == [7.0, 7.0, 7.0]
+
+    def test_root_needs_sendbuf(self, ideal):
+        def main(comm):
+            comm.Scatter(None, np.zeros(1), root=0)
+
+        with pytest.raises(CommunicatorError, match="sendbuf"):
+            run_mpi(main, 2, ideal)
+
+    def test_shape_checked(self, ideal):
+        def main(comm):
+            send = np.zeros((1, 2)) if comm.rank == 0 else None
+            comm.Scatter(send, np.zeros(2), root=0)
+
+        with pytest.raises(CommunicatorError, match="first dimension"):
+            run_mpi(main, 3, ideal)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nranks", [2, 3, 4])
+    def test_full_exchange(self, ideal, nranks):
+        def main(comm):
+            send = np.zeros((comm.size, 2))
+            for dest in range(comm.size):
+                send[dest] = [comm.rank, dest]
+            recv = np.zeros((comm.size, 2))
+            comm.Alltoall(send, recv)
+            # slot src must hold [src, my_rank]
+            for src in range(comm.size):
+                assert recv[src, 0] == src
+                assert recv[src, 1] == comm.rank
+            return True
+
+        assert all(run_mpi(main, nranks, ideal).results)
+
+    def test_shape_checked(self, ideal):
+        def main(comm):
+            comm.Alltoall(np.zeros((1, 2)), np.zeros((comm.size, 2)))
+
+        with pytest.raises(CommunicatorError, match="first dimension"):
+            run_mpi(main, 3, ideal)
+
+    def test_large_messages_no_deadlock(self, ideal):
+        """Rendezvous-sized slots would deadlock a naive send-then-recv
+        loop; the posted-receives-first implementation must not."""
+
+        def main(comm):
+            n = 1000  # 8000 B per slot > 1000 B eager limit
+            send = np.full((comm.size, n), float(comm.rank))
+            recv = np.zeros((comm.size, n))
+            comm.Alltoall(send, recv)
+            return [recv[src, 0] for src in range(comm.size)]
+
+        results = run_mpi(main, 3, ideal).results
+        assert results[0] == [0.0, 1.0, 2.0]
+
+
+class TestSendrecvReplace:
+    def test_in_place_exchange(self, ideal):
+        def main(comm):
+            buf = np.full(8, float(comm.rank))
+            comm.Sendrecv_replace(buf, dest=1 - comm.rank, source=1 - comm.rank)
+            return buf[0]
+
+        assert run_mpi(main, 2, ideal).results == [1.0, 0.0]
+
+    def test_ring_rotation(self, ideal):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            buf = np.array([float(comm.rank)])
+            comm.Sendrecv_replace(buf, dest=right, source=left)
+            return buf[0]
+
+        results = run_mpi(main, 4, ideal).results
+        assert results == [3.0, 0.0, 1.0, 2.0]
+
+    def test_rendezvous_sized_exchange(self, ideal):
+        def main(comm):
+            buf = np.full(1000, float(comm.rank))  # 8 kB > eager limit
+            comm.Sendrecv_replace(buf, dest=1 - comm.rank, source=1 - comm.rank)
+            return buf[999]
+
+        assert run_mpi(main, 2, ideal).results == [1.0, 0.0]

@@ -1,0 +1,151 @@
+"""Communicator context tests: Dup/Split isolation and rank mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, CommunicatorError, run_mpi
+
+
+class TestDup:
+    def test_dup_isolates_traffic(self, ideal):
+        """A message on the duplicate never matches a world receive with
+        the same (source, tag), and vice versa."""
+
+        def main(comm):
+            dup = comm.Dup()
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+                dup.Send(np.array([2.0]), dest=1, tag=7)
+            else:
+                buf = np.zeros(1)
+                dup.Recv(buf, source=0, tag=7)  # must get the dup message
+                got_dup = buf[0]
+                comm.Recv(buf, source=0, tag=7)
+                return (got_dup, buf[0])
+
+        assert run_mpi(main, 2, ideal).results[1] == (2.0, 1.0)
+
+    def test_dup_same_topology(self, ideal):
+        def main(comm):
+            dup = comm.Dup()
+            return (dup.rank, dup.size, dup.context_id != comm.context_id)
+
+        results = run_mpi(main, 3, ideal).results
+        assert results == [(0, 3, True), (1, 3, True), (2, 3, True)]
+
+    def test_consecutive_dups_get_distinct_contexts(self, ideal):
+        def main(comm):
+            a = comm.Dup()
+            b = comm.Dup()
+            return (a.context_id, b.context_id)
+
+        results = run_mpi(main, 2, ideal).results
+        assert results[0] == results[1]  # agreed across ranks
+        assert results[0][0] != results[0][1]  # distinct contexts
+
+    def test_collectives_work_on_dup(self, ideal):
+        def main(comm):
+            dup = comm.Dup()
+            out = np.zeros(1)
+            dup.Allreduce(np.array([float(dup.rank)]), out)
+            return out[0]
+
+        assert run_mpi(main, 4, ideal).results == [6.0] * 4
+
+
+class TestSplit:
+    def test_even_odd_split(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank % 2, key=comm.rank)
+            # Exchange within the subgroup: neighbour = rank ^ 1 in sub.
+            peer = 1 - sub.rank if sub.size == 2 else sub.rank
+            buf = np.zeros(1)
+            sub.Sendrecv(np.array([float(comm.rank)]), dest=peer, recvbuf=buf,
+                         source=peer)
+            return (sub.rank, sub.size, buf[0])
+
+        results = run_mpi(main, 4, ideal).results
+        # world 0,2 -> evens subcomm (ranks 0,1); world 1,3 -> odds
+        assert results[0] == (0, 2, 2.0)
+        assert results[2] == (1, 2, 0.0)
+        assert results[1] == (0, 2, 3.0)
+        assert results[3] == (1, 2, 1.0)
+
+    def test_key_orders_ranks(self, ideal):
+        def main(comm):
+            # Reverse the ordering within one color.
+            sub = comm.Split(color=0, key=-comm.rank)
+            return sub.rank
+
+        results = run_mpi(main, 3, ideal).results
+        assert results == [2, 1, 0]
+
+    def test_undefined_color_returns_none(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=None if comm.rank == 2 else 0)
+            if comm.rank == 2:
+                return sub is None
+            return sub.size
+
+        results = run_mpi(main, 3, ideal).results
+        assert results == [2, 2, True]
+
+    def test_subcomm_collectives(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank // 2)
+            out = np.zeros(1)
+            sub.Allreduce(np.array([float(comm.rank)]), out)
+            return out[0]
+
+        results = run_mpi(main, 4, ideal).results
+        assert results == [1.0, 1.0, 5.0, 5.0]  # 0+1 and 2+3
+
+    def test_subcomm_status_ranks_are_local(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            if sub.size < 2:
+                return None
+            buf = np.zeros(1)
+            if sub.rank == 0:
+                st = sub.Recv(buf, source=ANY_SOURCE, tag=ANY_TAG)
+                return st.source  # must be the SUBCOMM rank of the peer
+            sub.Send(np.array([9.0]), dest=0)
+
+        results = run_mpi(main, 4, ideal).results
+        assert results[0] == 1 and results[1] == 1
+
+    def test_windows_on_subcomms(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            target = np.zeros(2) if sub.rank == 1 else None
+            win = sub.Win_create(target)
+            win.Fence()
+            if sub.rank == 0:
+                win.Put(np.full(2, float(comm.rank)), 1)
+            win.Fence()
+            if sub.rank == 1:
+                return target[0]
+
+        results = run_mpi(main, 4, ideal).results
+        assert results[2] == 0.0  # world rank 2 got from world rank 0
+        assert results[3] == 1.0  # world rank 3 got from world rank 1
+
+
+class TestGroupValidation:
+    def test_group_accessor(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=0, key=comm.rank)
+            return sub.group
+
+        results = run_mpi(main, 3, ideal).results
+        assert results == [[0, 1, 2]] * 3
+
+    def test_peer_out_of_subcomm_range(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            sub.Send(np.zeros(1), dest=3)  # subcomm only has 2 ranks
+
+        with pytest.raises(CommunicatorError):
+            run_mpi(main, 4, ideal)

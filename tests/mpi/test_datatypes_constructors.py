@@ -1,0 +1,263 @@
+"""Constructor tests: sizes, extents, typemaps, MPI corner semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    ContigRun,
+    StridedRuns,
+    make_contiguous,
+    make_hindexed,
+    make_hvector,
+    make_indexed,
+    make_indexed_block,
+    make_resized,
+    make_struct,
+    make_subarray,
+    make_vector,
+)
+from repro.mpi.errors import DatatypeError
+
+
+class TestVector:
+    def test_paper_layout(self):
+        """vector(count=N/2, blocklen=1, stride=2, DOUBLE) — every other double."""
+        v = make_vector(500, 1, 2, DOUBLE).commit()
+        assert v.size == 4000
+        assert v.extent == ((500 - 1) * 2 + 1) * 8
+        assert v.true_extent == v.extent
+        runs = v.flatten()
+        assert runs == [StridedRuns(0, 500, 8, 16)]
+
+    def test_blocklen_gt_one(self):
+        v = make_vector(10, 3, 5, DOUBLE).commit()
+        assert v.size == 10 * 3 * 8
+        assert v.segments()[:2] == [(0, 24), (40, 24)]
+
+    def test_dense_vector_is_contiguous(self):
+        v = make_vector(10, 4, 4, DOUBLE).commit()
+        assert v.is_contiguous
+        assert v.flatten() == [ContigRun(0, 320)]
+
+    def test_zero_count_empty(self):
+        v = make_vector(0, 1, 2, DOUBLE).commit()
+        assert v.size == 0
+        assert v.flatten() == []
+        assert v.access_pattern().total_bytes == 0
+
+    def test_zero_blocklen_empty(self):
+        v = make_vector(3, 0, 2, DOUBLE).commit()
+        assert v.size == 0
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(DatatypeError):
+            make_vector(-1, 1, 2, DOUBLE)
+        with pytest.raises(DatatypeError):
+            make_vector(1, -1, 2, DOUBLE)
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DatatypeError, match="overlap"):
+            make_vector(4, 2, 1, DOUBLE)
+
+    def test_negative_stride_bounds(self):
+        v = make_vector(3, 1, -2, DOUBLE).commit()
+        assert v.lb == -2 * 2 * 8
+        assert v.ub == 8
+        assert v.size == 24
+
+    def test_nested_vector(self):
+        inner = make_vector(2, 1, 2, DOUBLE)  # doubles at 0 and 16
+        outer = make_vector(3, 1, 2, inner).commit()
+        # inner extent = 24; outer strides 2 extents = 48
+        assert outer.size == 6 * 8
+        assert outer.segments() == [
+            (0, 8), (16, 8), (48, 8), (64, 8), (96, 8), (112, 8),
+        ]
+
+
+class TestHVector:
+    def test_byte_stride(self):
+        h = make_hvector(4, 1, 10, BYTE).commit()
+        assert h.segments() == [(0, 1), (10, 1), (20, 1), (30, 1)]
+
+    def test_matches_vector_when_aligned(self):
+        v = make_vector(5, 2, 4, DOUBLE).commit()
+        h = make_hvector(5, 2, 32, DOUBLE).commit()
+        assert v.segments() == h.segments()
+        assert v.size == h.size
+
+
+class TestContiguous:
+    def test_basic(self):
+        c = make_contiguous(10, DOUBLE).commit()
+        assert c.size == 80
+        assert c.extent == 80
+        assert c.is_contiguous
+
+    def test_of_vector(self):
+        v = make_vector(3, 1, 2, DOUBLE)
+        c = make_contiguous(2, v).commit()
+        assert c.size == 48
+        assert c.extent == 2 * v.extent
+        assert len(c.segments()) == 6
+
+    def test_zero_count(self):
+        c = make_contiguous(0, DOUBLE).commit()
+        assert c.size == 0 and c.extent == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatatypeError):
+            make_contiguous(-1, DOUBLE)
+
+
+class TestIndexed:
+    def test_displacements_in_extents(self):
+        t = make_indexed([2, 1], [0, 4], DOUBLE).commit()
+        assert t.size == 24
+        assert t.segments() == [(0, 16), (32, 8)]
+
+    def test_hindexed_displacements_in_bytes(self):
+        t = make_hindexed([2, 1], [0, 40], DOUBLE).commit()
+        assert t.segments() == [(0, 16), (40, 8)]
+
+    def test_indexed_block(self):
+        t = make_indexed_block(2, [0, 5, 9], DOUBLE).commit()
+        assert t.size == 48
+        assert t.segments() == [(0, 16), (40, 16), (72, 16)]
+
+    def test_unsorted_displacements_keep_order(self):
+        t = make_indexed([1, 1], [5, 0], DOUBLE).commit()
+        assert t.segments() == [(40, 8), (0, 8)]
+
+    def test_zero_length_blocks_skipped(self):
+        t = make_indexed([0, 2, 0], [0, 3, 7], DOUBLE).commit()
+        assert t.size == 16
+        assert t.segments() == [(24, 16)]
+
+    def test_adjacent_blocks_coalesce(self):
+        t = make_indexed([2, 2], [0, 2], DOUBLE).commit()
+        assert t.flatten() == [ContigRun(0, 32)]
+        assert t.is_contiguous
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatatypeError):
+            make_indexed([1, 2], [0], DOUBLE)
+
+    def test_negative_blocklength_rejected(self):
+        with pytest.raises(DatatypeError):
+            make_indexed([-1], [0], DOUBLE)
+
+    def test_sparse_oldtype(self):
+        inner = make_vector(2, 1, 2, DOUBLE)
+        t = make_indexed([1, 1], [0, 2], inner).commit()
+        # inner covers 0 and 16; second element displaced 2 extents (48B)
+        assert t.segments() == [(0, 8), (16, 8), (48, 8), (64, 8)]
+
+    def test_bounds(self):
+        t = make_indexed([1, 2], [10, 0], DOUBLE)
+        assert t.lb == 0
+        assert t.ub == 88  # disp 10*8 + 1*8
+
+
+class TestStruct:
+    def test_mixed_fields(self):
+        s = make_struct([2, 1], [0, 20], [INT, DOUBLE]).commit()
+        assert s.size == 2 * 4 + 8
+        assert s.segments() == [(0, 8), (20, 8)]
+        assert s.lb == 0
+        assert s.ub == 28
+
+    def test_out_of_order_fields(self):
+        s = make_struct([1, 1], [16, 0], [DOUBLE, INT]).commit()
+        assert s.segments() == [(16, 8), (0, 4)]
+        assert s.lb == 0 and s.ub == 24
+
+    def test_field_with_derived_type(self):
+        v = make_vector(2, 1, 2, INT)
+        s = make_struct([1, 2], [0, 100], [v, INT]).commit()
+        assert s.size == 8 + 8
+        assert s.segments() == [(0, 4), (8, 4), (100, 8)]
+
+    def test_empty_struct(self):
+        s = make_struct([], [], []).commit()
+        assert s.size == 0 and s.extent == 0
+
+    def test_validation(self):
+        with pytest.raises(DatatypeError):
+            make_struct([1], [0, 4], [INT])
+        with pytest.raises(DatatypeError):
+            make_struct([-1], [0], [INT])
+
+
+class TestSubarray:
+    def test_row_block_c_order(self):
+        s = make_subarray([4, 6], [4, 2], [0, 1], DOUBLE).commit()
+        assert s.size == 8 * 8
+        assert s.extent == 24 * 8  # full array extent
+        assert s.segments() == [(8, 16), (56, 16), (104, 16), (152, 16)]
+
+    def test_full_array_contiguous(self):
+        s = make_subarray([3, 5], [3, 5], [0, 0], DOUBLE).commit()
+        assert s.flatten() == [ContigRun(0, 120)]
+
+    def test_full_rows_contiguous(self):
+        s = make_subarray([5, 4], [2, 4], [2, 0], DOUBLE).commit()
+        assert s.flatten() == [ContigRun(2 * 4 * 8, 2 * 4 * 8)]
+
+    def test_fortran_order(self):
+        # Column block of a 4x3 Fortran array: elements (1..2, 0..1)
+        s = make_subarray([4, 3], [2, 2], [1, 0], DOUBLE, order="F").commit()
+        assert s.segments() == [(8, 16), (40, 16)]
+
+    def test_3d(self):
+        s = make_subarray([2, 3, 4], [2, 2, 2], [0, 1, 1], DOUBLE).commit()
+        a = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        expected = a[0:2, 1:3, 1:3].reshape(-1)
+        from repro.mpi.datatypes import pack_bytes
+
+        out = np.zeros(8, dtype=np.float64)
+        pack_bytes(a, s, 1, out)
+        assert np.array_equal(out, expected)
+
+    def test_big_regular_subarray_is_o1(self):
+        s = make_subarray([10**7, 2], [10**7, 1], [0, 0], DOUBLE).commit()
+        runs = s.flatten()
+        assert runs == [StridedRuns(0, 10**7, 8, 16)]
+
+    def test_validation(self):
+        with pytest.raises(DatatypeError):
+            make_subarray([4], [5], [0], DOUBLE)  # subsize > size
+        with pytest.raises(DatatypeError):
+            make_subarray([4], [2], [3], DOUBLE)  # start+subsize > size
+        with pytest.raises(DatatypeError):
+            make_subarray([4], [2], [-1], DOUBLE)
+        with pytest.raises(DatatypeError):
+            make_subarray([4], [2], [0], DOUBLE, order="X")
+        with pytest.raises(DatatypeError):
+            make_subarray([], [], [], DOUBLE)
+
+    def test_zero_subsize_empty(self):
+        s = make_subarray([4, 4], [0, 2], [0, 0], DOUBLE).commit()
+        assert s.size == 0 and s.flatten() == []
+
+
+class TestResized:
+    def test_overrides_bounds_only(self):
+        v = make_vector(3, 1, 2, DOUBLE)
+        r = make_resized(v, -8, 64).commit()
+        assert r.lb == -8
+        assert r.extent == 64
+        assert r.size == v.size
+        assert r.segments() == v.commit().segments()
+
+    def test_replication_uses_new_extent(self):
+        col = make_vector(3, 1, 4, DOUBLE)  # one column of a 3x4 matrix
+        r = make_resized(col, 0, 8).commit()  # step one element
+        segs = r.segments(2)
+        assert segs[:3] == [(0, 8), (32, 8), (64, 8)]
+        assert segs[3:] == [(8, 8), (40, 8), (72, 8)]

@@ -1,0 +1,153 @@
+"""Nonblocking request tests: Isend/Irecv/test/wait semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import DOUBLE, run_mpi, wait_all
+
+
+class TestIrecv:
+    def test_irecv_completes_on_wait(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.process.task.sleep(1e-3)
+                comm.Send(doubles(16), dest=1)
+            else:
+                buf = np.zeros(16, np.float64)
+                req = comm.Irecv(buf, source=0)
+                st = req.wait()
+                assert st.nbytes == 128
+                return buf.copy()
+
+        out = run_mpi(main, 2, ideal).results[1]
+        assert np.array_equal(out, np.arange(16, dtype=np.float64))
+
+    def test_irecv_test_polls(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.process.task.sleep(1.0)
+                comm.Send(doubles(4), dest=1)
+            else:
+                buf = np.zeros(4, np.float64)
+                req = comm.Irecv(buf, source=0)
+                done, st = req.test()
+                assert not done and st is None
+                comm.process.task.sleep(2.0)
+                done, st = req.test()
+                assert done and st is not None and st.nbytes == 32
+                # test after completion stays done
+                assert req.test() == (True, st)
+                return buf[3]
+
+        assert run_mpi(main, 2, ideal).results[1] == 3.0
+
+    def test_irecv_overlaps_compute(self, ideal, doubles):
+        """Posting early lets a rendezvous transfer overlap compute."""
+
+        def main(comm):
+            n = 4000
+            if comm.rank == 0:
+                comm.Send(np.zeros(n // 8, np.float64), dest=1)
+            else:
+                buf = np.zeros(n // 8, np.float64)
+                req = comm.Irecv(buf, source=0)
+                comm.process.task.sleep(1e-3)  # compute while data flows
+                req.wait()
+                return comm.Wtime()
+
+        t = run_mpi(main, 2, ideal).results[1]
+        assert t == pytest.approx(1e-3)  # transfer hid behind the sleep
+
+    def test_wait_idempotent(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(doubles(4), dest=1)
+            else:
+                buf = np.zeros(4, np.float64)
+                req = comm.Irecv(buf, source=0)
+                st1 = req.wait()
+                st2 = req.wait()
+                assert st1 == st2
+                return True
+
+        assert run_mpi(main, 2, ideal).results[1]
+
+
+class TestIsend:
+    def test_isend_wait(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.Isend(doubles(500), dest=1)  # 4000 B: rendezvous
+                t_posted = comm.Wtime()
+                req.wait()
+                return (t_posted, comm.Wtime())
+            comm.Recv(np.zeros(500, np.float64), source=0)
+
+        posted, done = run_mpi(main, 2, ideal).results[0]
+        assert posted == 0.0
+        assert done == pytest.approx(2e-6 + 4000 / 10e9)
+
+    def test_isend_test(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.Isend(doubles(500), dest=1)
+                done, _ = req.test()
+                assert not done  # receiver hasn't posted
+                comm.process.task.sleep(1.0)
+                done, _ = req.test()
+                assert done
+                return True
+            comm.process.task.sleep(0.5)
+            comm.Recv(np.zeros(500, np.float64), source=0)
+
+        assert run_mpi(main, 2, ideal).results[0]
+
+    def test_eager_isend_completes_immediately(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.Isend(doubles(10), dest=1)
+                done, _ = req.test()
+                return done
+            comm.Recv(np.zeros(10, np.float64), source=0)
+
+        assert run_mpi(main, 2, ideal).results[0] is True
+
+
+class TestWaitAll:
+    def test_multiple_outstanding_requests(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.Isend(doubles(8) + i, dest=1, tag=i) for i in range(4)]
+                wait_all(reqs)
+            else:
+                bufs = [np.zeros(8, np.float64) for _ in range(4)]
+                reqs = [comm.Irecv(bufs[i], source=0, tag=i) for i in range(4)]
+                stats = wait_all(reqs)
+                assert all(s.nbytes == 64 for s in stats)
+                return [b[0] for b in bufs]
+
+        assert run_mpi(main, 2, ideal).results[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_empty_waitall(self, ideal):
+        assert wait_all([]) == []
+
+    def test_out_of_order_completion(self, ideal, doubles):
+        """Waiting on the later-arriving request first still works."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(doubles(4), dest=1, tag=1)
+                comm.process.task.sleep(1.0)
+                comm.Send(doubles(4) * 2, dest=1, tag=2)
+            else:
+                a = np.zeros(4, np.float64)
+                b = np.zeros(4, np.float64)
+                ra = comm.Irecv(a, source=0, tag=1)
+                rb = comm.Irecv(b, source=0, tag=2)
+                rb.wait()  # arrives second
+                ra.wait()
+                return (a[1], b[1])
+
+        assert run_mpi(main, 2, ideal).results[1] == (1.0, 2.0)

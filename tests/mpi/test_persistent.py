@@ -1,0 +1,100 @@
+"""Persistent-request tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import RequestError, run_mpi, start_all
+
+
+class TestPersistent:
+    def test_pingpong_loop(self, ideal):
+        """The paper's exact use case: fixed arguments, many iterations."""
+
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.zeros(64, np.float64)
+                send = comm.Send_init(buf, dest=1, tag=1)
+                for i in range(5):
+                    buf[:] = i
+                    send.Start()
+                    send.wait()
+                return True
+            landed = []
+            buf = np.zeros(64, np.float64)
+            recv = comm.Recv_init(buf, source=0, tag=1)
+            for _ in range(5):
+                recv.Start()
+                recv.wait()
+                landed.append(buf[0])
+            return landed
+
+        results = run_mpi(main, 2, ideal).results
+        assert results[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_start_while_active_rejected(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.Send_init(np.zeros(1000, np.float64), dest=1)  # rndv size
+                req.Start()
+                req.Start()  # second start before completion
+            else:
+                comm.process.task.sleep(1.0)
+                comm.Recv(np.zeros(1000, np.float64), source=0)
+
+        with pytest.raises(RequestError, match="already active"):
+            run_mpi(main, 2, ideal)
+
+    def test_wait_without_start_rejected(self, ideal):
+        def main(comm):
+            req = comm.Recv_init(np.zeros(4, np.float64), source=0)
+            req.wait()
+
+        with pytest.raises(RequestError, match="not started"):
+            run_mpi(main, 2, ideal)
+
+    def test_init_validates_eagerly(self, ideal):
+        def main(comm):
+            comm.Send_init(np.zeros(4, np.float64), dest=9)
+
+        with pytest.raises(Exception, match="rank 9"):
+            run_mpi(main, 2, ideal)
+
+    def test_start_all(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                bufs = [np.full(4, float(i)) for i in range(3)]
+                reqs = [comm.Send_init(bufs[i], dest=1, tag=i) for i in range(3)]
+                start_all(reqs)
+                for req in reqs:
+                    req.wait()
+            else:
+                bufs = [np.zeros(4) for _ in range(3)]
+                reqs = [comm.Recv_init(bufs[i], source=0, tag=i) for i in range(3)]
+                start_all(reqs)
+                for req in reqs:
+                    req.wait()
+                return [b[0] for b in bufs]
+
+        assert run_mpi(main, 2, ideal).results[1] == [0.0, 1.0, 2.0]
+
+    def test_test_path(self, ideal):
+        def main(comm):
+            if comm.rank == 0:
+                comm.process.task.sleep(1.0)
+                comm.Send(np.full(4, 7.0), dest=1)
+            else:
+                buf = np.zeros(4)
+                req = comm.Recv_init(buf, source=0)
+                req.Start()
+                done, _ = req.test()
+                assert not done
+                comm.process.task.sleep(2.0)
+                done, status = req.test()
+                assert done and status.nbytes == 32
+                # reusable after completion
+                assert not req.active
+                return buf[0]
+
+        assert run_mpi(main, 2, ideal).results[1] == 7.0

@@ -1,0 +1,105 @@
+"""Protocol-selection quirk tests (the Cray MPICH oddities, section 4.5).
+
+These drive the protocol through traces: which path a message takes is
+observable as eager vs RTS/CTS events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import get_platform
+from repro.mpi import DOUBLE, SimBuffer, make_vector, run_mpi
+from repro.mpi.datatypes.basic import PACKED
+
+
+def traced_send(platform, nbytes, *, datatype=None, count=None, make_src=None):
+    """One send of nbytes; returns the tracer."""
+
+    def main(comm):
+        if comm.rank == 0:
+            src = make_src() if make_src else SimBuffer.virtual(nbytes)
+            comm.Send(src, dest=1, count=count, datatype=datatype)
+        else:
+            comm.Recv(SimBuffer.virtual(nbytes), source=0)
+
+    return run_mpi(main, 2, platform, trace=True).tracer
+
+
+class TestCrayQuirks:
+    @pytest.fixture
+    def cray(self):
+        return get_platform("ls5-cray")
+
+    def test_small_contiguous_is_eager(self, cray):
+        tracer = traced_send(cray, 4096)  # < 8 KiB limit
+        assert tracer.count("send.eager", nbytes=4096) == 1
+        assert tracer.count("send.rts") == 0
+
+    def test_small_derived_forced_to_rendezvous(self, cray):
+        """derived_always_rendezvous: even a tiny vector send (4096 B
+        payload, under the 8 KiB limit) handshakes."""
+
+        def main(comm):
+            v = make_vector(512, 1, 2, DOUBLE).commit()
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(8192), dest=1, count=1, datatype=v)
+            else:
+                comm.Recv(SimBuffer.virtual(4096), source=0)
+
+        tracer = run_mpi(main, 2, cray, trace=True).tracer
+        assert tracer.count("send.rts", nbytes=4096) == 1
+        assert tracer.count("send.eager", nbytes=4096) == 0
+
+    def test_packed_eager_window_doubled(self, cray):
+        """packed_eager_limit_factor=2: PACKED stays eager to 16 KiB."""
+        nbytes = 12 * 1024  # between 8 KiB and 16 KiB
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(nbytes), dest=1, count=nbytes,
+                          datatype=PACKED)
+            else:
+                comm.Recv(SimBuffer.virtual(nbytes), source=0)
+
+        tracer = run_mpi(main, 2, cray, trace=True).tracer
+        assert tracer.count("send.eager", nbytes=nbytes) == 1
+        # ... while an ordinary send of the same size handshakes:
+        tracer2 = traced_send(cray, nbytes)
+        assert tracer2.count("send.rts", nbytes=nbytes) == 1
+
+    def test_packed_beyond_doubled_window_rendezvous(self, cray):
+        nbytes = 20 * 1024  # > 16 KiB
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(nbytes), dest=1, count=nbytes,
+                          datatype=PACKED)
+            else:
+                comm.Recv(SimBuffer.virtual(nbytes), source=0)
+
+        tracer = run_mpi(main, 2, cray, trace=True).tracer
+        assert tracer.count("send.rts", nbytes=nbytes) == 1
+
+
+class TestStandardProtocolSelection:
+    def test_impi_derived_uses_normal_limit(self):
+        """No quirk on Intel MPI: a small derived send is eager."""
+        skx = get_platform("skx-impi")
+
+        def main(comm):
+            v = make_vector(512, 1, 2, DOUBLE).commit()
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(8192), dest=1, count=1, datatype=v)
+            else:
+                comm.Recv(SimBuffer.virtual(4096), source=0)
+
+        tracer = run_mpi(main, 2, skx, trace=True).tracer
+        assert tracer.count("send.eager", nbytes=4096) == 1
+
+    def test_limit_boundary_inclusive(self):
+        skx = get_platform("skx-impi")
+        limit = skx.tuning.eager_limit
+        assert traced_send(skx, limit).count("send.eager") >= 1
+        assert traced_send(skx, limit + 16).count("send.rts", nbytes=limit + 16) == 1

@@ -1,0 +1,58 @@
+"""Scan/Exscan tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import CommunicatorError, run_mpi
+
+
+class TestScan:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 5])
+    def test_inclusive_prefix_sum(self, ideal, nranks):
+        def main(comm):
+            out = np.zeros(2)
+            comm.Scan(np.full(2, float(comm.rank + 1)), out)
+            return out[0]
+
+        results = run_mpi(main, nranks, ideal).results
+        assert results == [sum(range(1, r + 2)) for r in range(nranks)]
+
+    def test_max_scan(self, ideal):
+        def main(comm):
+            values = [3.0, 1.0, 4.0, 1.0]
+            out = np.zeros(1)
+            comm.Scan(np.array([values[comm.rank]]), out, op="max")
+            return out[0]
+
+        assert run_mpi(main, 4, ideal).results == [3.0, 3.0, 4.0, 4.0]
+
+    def test_unknown_op(self, ideal):
+        def main(comm):
+            comm.Scan(np.zeros(1), np.zeros(1), op="median")
+
+        with pytest.raises(CommunicatorError):
+            run_mpi(main, 2, ideal)
+
+
+class TestExscan:
+    def test_exclusive_prefix_sum(self, ideal):
+        def main(comm):
+            out = np.full(1, -99.0)
+            comm.Exscan(np.array([float(comm.rank + 1)]), out)
+            return out[0]
+
+        results = run_mpi(main, 4, ideal).results
+        assert results[0] == -99.0  # rank 0 untouched (MPI: undefined)
+        assert results[1:] == [1.0, 3.0, 6.0]
+
+    def test_exscan_on_subcomm(self, ideal):
+        def main(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            out = np.zeros(1)
+            sub.Scan(np.array([1.0]), out)
+            return out[0]
+
+        results = run_mpi(main, 4, ideal).results
+        assert results == [1.0, 1.0, 2.0, 2.0]

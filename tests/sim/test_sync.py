@@ -1,0 +1,160 @@
+"""Condition and barrier primitive tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Kernel, KernelStateError, SimBarrier, SimCondition
+
+
+def test_condition_wakes_all_waiters():
+    k = Kernel()
+    cond = SimCondition(k, "c")
+    woken = []
+
+    def waiter(name):
+        def body():
+            t = [t for t in k.tasks if t.name == name][0]
+            cond.wait(t)
+            woken.append((name, t.now))
+        return body
+
+    for name in ("w0", "w1", "w2"):
+        k.spawn(waiter(name), name=name)
+
+    def notifier():
+        t = [t for t in k.tasks if t.name == "n"][0]
+        t.sleep(2.0)
+        assert cond.waiter_count == 3
+        assert cond.notify_all() == 3
+        assert cond.waiter_count == 0
+
+    k.spawn(notifier, name="n")
+    k.run()
+    assert sorted(woken) == [("w0", 2.0), ("w1", 2.0), ("w2", 2.0)]
+
+
+def test_condition_notify_with_delay():
+    k = Kernel()
+    cond = SimCondition(k, "c")
+    woken = []
+
+    def waiter():
+        t = k.tasks[0]
+        cond.wait(t)
+        woken.append(t.now)
+
+    def notifier():
+        t = k.tasks[1]
+        t.sleep(1.0)
+        cond.notify_all(delay=0.5)
+
+    k.spawn(waiter, name="w")
+    k.spawn(notifier, name="n")
+    k.run()
+    assert woken == [1.5]
+
+
+def test_condition_wait_from_wrong_task_rejected():
+    k = Kernel()
+    cond = SimCondition(k, "c")
+
+    def main():
+        other = k.tasks[1]
+        with pytest.raises(KernelStateError):
+            cond.wait(other)
+
+    k.spawn(main, name="a")
+    k.spawn(lambda: k.tasks[1].sleep(1.0), name="b")
+    k.run()
+
+
+def test_notify_without_waiters_returns_zero():
+    k = Kernel()
+    cond = SimCondition(k, "c")
+
+    def main():
+        assert cond.notify_all() == 0
+
+    k.spawn(main)
+    k.run()
+
+
+def test_barrier_releases_at_last_arrival():
+    k = Kernel()
+    bar = SimBarrier(k, 3, "b")
+    release = []
+
+    def member(name, delay):
+        def body():
+            t = [t for t in k.tasks if t.name == name][0]
+            t.sleep(delay)
+            bar.arrive(t)
+            release.append((name, t.now))
+        return body
+
+    k.spawn(member("a", 1.0), name="a")
+    k.spawn(member("b", 4.0), name="b")
+    k.spawn(member("c", 2.0), name="c")
+    k.run()
+    assert all(t == 4.0 for _, t in release)
+
+
+def test_barrier_release_cost_applies_to_everyone():
+    k = Kernel()
+    bar = SimBarrier(k, 2, "b")
+    release = []
+
+    def member(name, delay):
+        def body():
+            t = [t for t in k.tasks if t.name == name][0]
+            t.sleep(delay)
+            bar.arrive(t, release_cost=0.25)
+            release.append(t.now)
+        return body
+
+    k.spawn(member("a", 1.0), name="a")
+    k.spawn(member("b", 3.0), name="b")
+    k.run()
+    assert release == [3.25, 3.25]
+
+
+def test_barrier_is_reusable_across_generations():
+    k = Kernel()
+    bar = SimBarrier(k, 2, "b")
+    log = []
+
+    def member(name, delays):
+        def body():
+            t = [t for t in k.tasks if t.name == name][0]
+            for d in delays:
+                t.sleep(d)
+                bar.arrive(t)
+                log.append((name, t.now))
+        return body
+
+    k.spawn(member("a", [1.0, 1.0]), name="a")
+    k.spawn(member("b", [2.0, 3.0]), name="b")
+    k.run()
+    # generation 1 releases at t=2, generation 2 at t=5
+    assert sorted(log) == [("a", 2.0), ("a", 5.0), ("b", 2.0), ("b", 5.0)]
+
+
+def test_barrier_single_party_never_blocks():
+    k = Kernel()
+    bar = SimBarrier(k, 1, "solo")
+
+    def main():
+        t = k.tasks[0]
+        bar.arrive(t)
+        bar.arrive(t)
+        assert t.now == 0.0
+
+    k.spawn(main)
+    k.run()
+
+
+def test_barrier_requires_positive_parties():
+    k = Kernel()
+    with pytest.raises(ValueError):
+        SimBarrier(k, 0)
