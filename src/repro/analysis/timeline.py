@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..sim.trace import TraceEvent, Tracer
 
-__all__ = ["render_timeline", "event_label"]
+__all__ = ["render_timeline", "render_attribution", "event_label"]
 
 #: categories shown by default (protocol-level events)
 _DEFAULT_CATEGORIES = (
@@ -111,4 +111,23 @@ def render_timeline(
         lines.append(f"{event.time * 1e6:>12.3f} |" + "|".join(cells))
     if truncated:
         lines.append(f"... ({len(tracer)} events total, first {max_events} shown)")
+    return "\n".join(lines)
+
+
+def render_attribution(phases: dict[str, float], total: float) -> str:
+    """The phase cost-attribution table (see ``repro.obs.attribution``).
+
+    ``phases`` partitions ``total`` virtual seconds; zero rows are
+    dropped, and the footer restates the total so the partition
+    property is visible at a glance.
+    """
+    rows = [(name, t) for name, t in phases.items() if t > 0.0]
+    rows.sort(key=lambda item: item[1], reverse=True)
+    lines = [f"{'phase':<12} {'time (us)':>12} {'share':>8}"]
+    lines.append("-" * 34)
+    for name, t in rows:
+        share = t / total * 100 if total else 0.0
+        lines.append(f"{name:<12} {t * 1e6:>12.3f} {share:>7.1f}%")
+    lines.append("-" * 34)
+    lines.append(f"{'total':<12} {total * 1e6:>12.3f} {100.0:>7.1f}%")
     return "\n".join(lines)

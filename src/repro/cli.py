@@ -103,12 +103,14 @@ def cmd_claims(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from .analysis.timeline import render_timeline
+    import json
+
+    from .analysis.timeline import render_attribution, render_timeline
     from .core.layout import strided_for_bytes
-    from .core.pingpong import run_pingpong as _rp
     from .core.schemes import SchemeContext, make_scheme
     from .machine.registry import get_platform as _gp
     from .mpi.runtime import run_mpi as _rm
+    from .obs import attribute_phases, chrome_trace, write_chrome_trace
 
     layout = strided_for_bytes(args.bytes)
     ctx = SchemeContext(layout=layout, materialize=False)
@@ -130,9 +132,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
             receiver.teardown_receiver(comm, ctx)
 
     job = _rm(main, 2, _gp(args.platform), trace=True)
+    if args.chrome:
+        # Raw Chrome trace JSON on stdout, for piping into a file or
+        # straight into Perfetto.  --json still writes its file.
+        print(json.dumps(chrome_trace(job.tracer), indent=1, sort_keys=True))
+        if args.json:
+            write_chrome_trace(job.tracer, args.json)
+        return 0
     print(f"one {args.scheme} ping-pong of {layout.message_bytes:,} B on {args.platform}:")
     print()
     print(render_timeline(job.tracer))
+    print()
+    print("cost attribution:")
+    print()
+    print(render_attribution(attribute_phases(job.tracer, job.virtual_time),
+                             job.virtual_time))
+    if args.json:
+        write_chrome_trace(job.tracer, args.json)
+        print(f"\nwrote Chrome trace to {args.json} (load in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -217,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scheme", choices=list(PAPER_ORDER))
     p.add_argument("--platform", default="skx-impi", choices=list_platforms())
     p.add_argument("--bytes", type=int, default=1_000_000)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the Chrome trace_event JSON to PATH")
+    p.add_argument("--chrome", action="store_true",
+                   help="print only the raw Chrome trace JSON (for piping)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("compare", help="compare two saved sweep JSON files")

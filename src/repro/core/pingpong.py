@@ -8,12 +8,15 @@ one message size on one platform).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 
 from ..machine.platform import Platform
 from ..machine.registry import get_platform
 from ..mpi.comm import Comm
 from ..mpi.runtime import run_mpi
+from ..obs import MetricsRegistry
+from ..sim.trace import Tracer
 from .layout import Layout
 from .schemes import SchemeContext, SendScheme, make_scheme
 from .timing import TimingPolicy, TimingStats, summarize
@@ -31,6 +34,12 @@ class PingPongResult:
     stats: TimingStats
     verified: bool
     events: int
+    #: The job's trace (a SpanRecorder when ``trace=True``).
+    tracer: Tracer | None = field(default=None, compare=False, repr=False)
+    #: The job's metrics registry.
+    metrics: MetricsRegistry | None = field(default=None, compare=False, repr=False)
+    #: Virtual time at which the whole job drained.
+    virtual_time: float = 0.0
 
     @property
     def time(self) -> float:
@@ -88,14 +97,32 @@ def run_pingpong(
     rng = noise.rng(_noise_stream(scheme.key, layout.message_bytes)) if noise else None
 
     def main(comm: Comm) -> None:
+        world = comm.world
+        # Scheme-level spans (traced runs only): the per-iteration
+        # envelope every protocol/pack/copy span nests inside.  The
+        # tracing flag is hoisted so the untraced hot loop carries no
+        # context-manager machinery at all.
+        tracing = world.obs.enabled
+
+        def phase(name: str, **attrs):
+            if tracing:
+                return world.span(name, rank=comm.rank, category="scheme",
+                                  scheme=sender_scheme.key, **attrs)
+            return nullcontext()
+
         if comm.rank == 0:
-            sender_scheme.setup_sender(comm, ctx)
+            with phase("scheme.setup"):
+                sender_scheme.setup_sender(comm, ctx)
             comm.Barrier()
-            for _ in range(policy.iterations):
+            for i in range(policy.iterations):
                 if policy.flush:
                     comm.flush_caches(policy.flush_bytes)
                 t0 = comm.Wtime()
-                sender_scheme.iteration_sender(comm)
+                if tracing:
+                    with phase("scheme.iteration", iteration=i):
+                        sender_scheme.iteration_sender(comm)
+                else:
+                    sender_scheme.iteration_sender(comm)
                 elapsed = comm.Wtime() - t0
                 if noise is not None and rng is not None:
                     elapsed = noise.perturb(elapsed, rng)
@@ -103,12 +130,17 @@ def run_pingpong(
             comm.Barrier()
             sender_scheme.teardown_sender(comm, ctx)
         else:
-            receiver_scheme.setup_receiver(comm, ctx)
+            with phase("scheme.setup"):
+                receiver_scheme.setup_receiver(comm, ctx)
             comm.Barrier()
-            for _ in range(policy.iterations):
+            for i in range(policy.iterations):
                 if policy.flush:
                     comm.flush_caches(policy.flush_bytes)
-                receiver_scheme.iteration_receiver(comm)
+                if tracing:
+                    with phase("scheme.iteration", iteration=i):
+                        receiver_scheme.iteration_receiver(comm)
+                else:
+                    receiver_scheme.iteration_receiver(comm)
             comm.Barrier()
             verified["ok"] = receiver_scheme.verify_receiver(ctx)
             receiver_scheme.teardown_receiver(comm, ctx)
@@ -128,4 +160,7 @@ def run_pingpong(
         stats=summarize(times, policy.dismiss_sigma),
         verified=verified.get("ok", False),
         events=job.events,
+        tracer=job.tracer,
+        metrics=job.metrics,
+        virtual_time=job.virtual_time,
     )

@@ -174,20 +174,34 @@ class Comm:
         sbuf, count, datatype = self._resolve(buf, count, datatype)
         task = self.process.task
         cost = self._cost
+        obs = self.world.obs
+        tracing = obs.enabled
+        t0 = task.now if tracing else 0.0
         # All inline sender-side costs accumulate into one sleep: the
         # task does not interact with shared state in between, so the
         # merged advance is observationally identical and saves two
-        # kernel handoffs per send.
-        delay = cost.call()
+        # kernel handoffs per send.  Traced runs take the *same* merged
+        # sleep and reconstruct the phase boundaries afterwards, so
+        # tracing never perturbs virtual time or the event count.
+        call_cost = cost.call()
+        delay = call_cost
         nbytes = datatype.size * count
         # Contiguity of the whole transfer, not of one element: count
         # replicas of a dense-but-padded type are still strided.
         pattern = datatype.access_pattern(count)
         derived = not pattern.is_contiguous
+        staging_cost = 0.0
+        chunks = 0
         if derived:
             # Direct derived-type send: the library stages the data
             # through internal buffers (section 4.1).
-            delay += cost.staging(pattern, self.process.cache_warm)
+            staging_cost = cost.staging(pattern, self.process.cache_warm)
+            delay += staging_cost
+            chunks = cost.staging_chunks(nbytes)
+            world = self.world
+            world.c_staged_sends.inc()
+            world.c_bytes_staged.inc(nbytes)
+            world.c_staging_chunks.inc(chunks)
             self.process.touch_caches()
             self.world.trace("staging", rank=self.rank, nbytes=nbytes,
                              datatype=datatype.name)
@@ -197,6 +211,16 @@ class Comm:
             # Without NIC offload the core babysits the injection.
             delay += cost.wire(nbytes)
         task.sleep(delay)
+        if tracing:
+            rank = self.process.rank
+            envelope = obs.complete(t0, t0 + delay, "p2p.send_call", rank=rank,
+                                    category="overhead", dest=dest, tag=tag,
+                                    nbytes=nbytes)
+            if derived:
+                obs.complete(t0 + call_cost, t0 + call_cost + staging_cost,
+                             "p2p.staging", rank=rank, category="staging",
+                             parent=envelope, nbytes=nbytes,
+                             datatype=datatype.name, chunks=chunks)
         op = SendOperation(
             self.world,
             self.process,
@@ -240,7 +264,10 @@ class Comm:
         sbuf, count, datatype = self._resolve(buf, count, datatype)
         task = self.process.task
         cost = self._cost
-        delay = cost.call()
+        obs = self.world.obs
+        t0 = task.now if obs.enabled else 0.0
+        call_cost = cost.call()
+        delay = call_cost
         nbytes = datatype.size * count
         attached = self.process.require_attached_buffer()
         reserved = attached.reserve(nbytes)
@@ -248,13 +275,22 @@ class Comm:
         warm = self.process.cache_warm
         pattern = datatype.access_pattern(count)
         if pattern.is_contiguous:
-            delay += cost.memcpy(nbytes, warm)
+            copy_cost = cost.memcpy(nbytes, warm)
         else:
-            delay += cost.gather(pattern, warm)
+            copy_cost = cost.gather(pattern, warm)
+        delay += copy_cost
         self.process.touch_caches()
         payload = self._build_payload(sbuf, count, datatype)
         delay += cost.send_overhead
         task.sleep(delay)
+        metrics = self.world.metrics
+        metrics.counter("p2p.bsend_bytes").inc(nbytes)
+        metrics.gauge("p2p.attached_buffer_bytes").set(attached.in_use)
+        if obs.enabled:
+            obs.complete(t0 + call_cost, t0 + call_cost + copy_cost,
+                         "p2p.bsend_copy", rank=self.process.rank,
+                         category="copy", nbytes=nbytes,
+                         reserved=reserved)
         op = SendOperation(
             self.world,
             self.process,
@@ -348,6 +384,16 @@ class Comm:
                 copy_out = cost.unstaging(recv_pattern, warm)
         task.sleep(copy_out + cost.recv_overhead)
         self._apply_payload(msg, sbuf, datatype)
+        world = self.world
+        world.c_recv_completions.inc()
+        world.c_bytes_received.inc(msg.nbytes)
+        obs = world.obs
+        if obs.enabled and copy_out > 0.0:
+            t_end = task.now
+            begin = t_end - cost.recv_overhead - copy_out
+            obs.complete(begin, begin + copy_out, "p2p.recv_copy",
+                         rank=self.process.rank, category="copy",
+                         nbytes=msg.nbytes, source=msg.source, eager=msg.eager)
         # Note: receiving does NOT mark the cache warm — the warm flag
         # tracks whether *this* rank's benchmark source data was
         # recently streamed (flush ablation, section 4.6); landing a
@@ -581,8 +627,16 @@ class Comm:
         dst_b = as_simbuffer(dst)
         datatype.require_committed()
         pattern = datatype.access_pattern(count)
-        self.process.task.sleep(self._cost.gather(pattern, self.process.cache_warm))
+        obs = self.world.obs
+        t0 = self.process.task.now if obs.enabled else 0.0
+        copy_cost = self._cost.gather(pattern, self.process.cache_warm)
+        self.process.task.sleep(copy_cost)
         self.process.touch_caches()
+        self.world.metrics.counter("copy.user_gather_bytes").inc(pattern.total_bytes)
+        if obs.enabled:
+            obs.complete(t0, t0 + copy_cost, "copy.gather",
+                         rank=self.process.rank, category="copy",
+                         nbytes=pattern.total_bytes)
         if src_b.materialized and dst_b.materialized:
             pack_bytes(src_b.bytes, datatype, count, dst_b.bytes, dst_offset)
 
@@ -593,14 +647,30 @@ class Comm:
         dst_b = as_simbuffer(dst)
         datatype.require_committed()
         pattern = datatype.access_pattern(count)
-        self.process.task.sleep(self._cost.scatter(pattern, self.process.cache_warm))
+        obs = self.world.obs
+        t0 = self.process.task.now if obs.enabled else 0.0
+        copy_cost = self._cost.scatter(pattern, self.process.cache_warm)
+        self.process.task.sleep(copy_cost)
         self.process.touch_caches()
+        self.world.metrics.counter("copy.user_scatter_bytes").inc(pattern.total_bytes)
+        if obs.enabled:
+            obs.complete(t0, t0 + copy_cost, "copy.scatter",
+                         rank=self.process.rank, category="copy",
+                         nbytes=pattern.total_bytes)
         if src_b.materialized and dst_b.materialized:
             unpack_bytes(src_b.bytes, src_offset, dst_b.bytes, datatype, count)
 
     def flush_caches(self, nbytes: int = 50_000_000) -> None:
         """Rewrite an ``nbytes`` scratch array, evicting the caches —
         the paper's inter-ping-pong flush (section 3.2)."""
-        self.process.task.sleep(self._cost.flush(nbytes))
+        obs = self.world.obs
+        t0 = self.process.task.now if obs.enabled else 0.0
+        flush_cost = self._cost.flush(nbytes)
+        self.process.task.sleep(flush_cost)
         self.process.cache_warm = False
+        self.world.metrics.counter("cache.flushes").inc()
+        if obs.enabled:
+            obs.complete(t0, t0 + flush_cost, "cache.flush",
+                         rank=self.process.rank, category="overhead",
+                         nbytes=nbytes)
         self.world.trace("flush", rank=self.rank, nbytes=nbytes)

@@ -109,6 +109,18 @@ class CostModel:
         chunks = math.ceil(nbytes / tuning.internal_chunk_bytes)
         return base / tuning.large_message_bw_factor + chunks * tuning.chunk_bookkeeping
 
+    def staging_chunks(self, nbytes: int) -> int:
+        """Internal staging-buffer passes for an ``nbytes`` derived send.
+
+        One pass below the large-message threshold; chunked through
+        ``internal_chunk_bytes`` buffers beyond it (the bookkeeping the
+        paper's section 4.1 drop is made of).
+        """
+        tuning = self.platform.tuning
+        if nbytes <= tuning.large_message_threshold:
+            return 1
+        return math.ceil(nbytes / tuning.internal_chunk_bytes)
+
     def unstaging(self, pattern: AccessPattern, warm: bool) -> float:
         """Receiver-side mirror of :meth:`staging` (scatter direction)."""
         tuning = self.platform.tuning

@@ -24,6 +24,10 @@ def _as_bytes(buf: np.ndarray, name: str) -> np.ndarray:
             raise DatatypeError(f"{name} must be C-contiguous to be reinterpreted as bytes")
         buf = buf.view(np.uint8).reshape(-1)
     if buf.ndim != 1:
+        # reshape(-1) on a non-contiguous array returns a *copy*: reads
+        # would silently see stale data and writes would be lost.
+        if not buf.flags.c_contiguous:
+            raise DatatypeError(f"{name} must be C-contiguous to be flattened to bytes")
         buf = buf.reshape(-1)
     return buf
 

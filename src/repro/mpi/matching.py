@@ -55,12 +55,15 @@ class Inbox:
 
     ``on_message`` runs in kernel context when a message (eager payload
     or rendezvous RTS) arrives; ``post`` runs in the receiving task.
-    Exactly one of the two sides finds the other.
+    Exactly one of the two sides finds the other.  ``on_match`` (if
+    given) fires once per successful envelope match, from either side —
+    the hook behind the ``match.*`` metrics.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, on_match=None) -> None:
         self.unexpected: deque["TransitMessage"] = deque()
         self.posted: deque[PostedRecv] = deque()
+        self.on_match = on_match
 
     # ------------------------------------------------------------------
     def on_message(self, message: "TransitMessage") -> None:
@@ -87,11 +90,12 @@ class Inbox:
                 return
         self.posted.append(rec)
 
-    @staticmethod
-    def _progress(message: "TransitMessage") -> None:
+    def _progress(self, message: "TransitMessage") -> None:
         """The progress engine's part of a match: a rendezvous RTS gets
         its clear-to-send immediately, whether or not the receiving task
         is blocked in a wait."""
+        if self.on_match is not None:
+            self.on_match(message)
         if not message.eager:
             message.operation.grant_cts()
 

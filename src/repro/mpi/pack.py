@@ -37,13 +37,26 @@ def _charge_pack(comm: "Comm", datatype: Datatype, incount: int, ncalls: int,
                  scatter: bool) -> None:
     cost = comm.world.cost
     task = comm.process.task
-    task.sleep(cost.call())
+    obs = comm.world.obs
+    t0 = task.now if obs.enabled else 0.0
+    call_cost = cost.call()
+    task.sleep(call_cost)
     pattern = datatype.access_pattern(incount)
     if scatter:
-        task.sleep(cost.unpack(pattern, comm.process.cache_warm, ncalls=ncalls))
+        move_cost = cost.unpack(pattern, comm.process.cache_warm, ncalls=ncalls)
     else:
-        task.sleep(cost.pack(pattern, comm.process.cache_warm, ncalls=ncalls))
+        move_cost = cost.pack(pattern, comm.process.cache_warm, ncalls=ncalls)
+    task.sleep(move_cost)
     comm.process.touch_caches()
+    kind = "unpack" if scatter else "pack"
+    nbytes = datatype.size * incount
+    metrics = comm.world.metrics
+    metrics.counter(f"pack.{kind}_calls").inc(ncalls)
+    metrics.counter(f"pack.{kind}_bytes").inc(nbytes)
+    if obs.enabled:
+        obs.complete(t0 + call_cost, t0 + call_cost + move_cost, f"pack.{kind}",
+                     rank=comm.process.rank, category="pack",
+                     nbytes=nbytes, ncalls=ncalls)
 
 
 def pack(comm: "Comm", inbuf, incount: int, datatype: Datatype, outbuf,

@@ -169,6 +169,9 @@ class SendOperation:
         self.wire_factor = wire_factor
         self.on_buffer_free = on_buffer_free
         self.cts_granted = False
+        #: Open ``proto.rendezvous`` span (traced runs only); closed in
+        #: ``_data_landed`` when the payload reaches the user buffer.
+        self._span = None
         cost = world.cost
         self.eager = cost.uses_eager(payload.nbytes, packed=packed, derived=derived)
         if synchronous:
@@ -198,11 +201,19 @@ class SendOperation:
         world = self.world
         cost = world.cost
         now = world.kernel.now
+        obs = world.obs
         if self.eager:
+            world.c_eager_sends.inc()
+            world.c_bytes_on_wire.inc(self.payload.nbytes)
             arrival = now + cost.latency + cost.wire(self.payload.nbytes, factor=self.wire_factor)
             self.message.arrival_time = arrival
             world.trace("send.eager", src=self.proc.rank, dest=self.dest, tag=self.tag,
                         nbytes=self.payload.nbytes, arrival=arrival)
+            if obs.enabled:
+                # Detached root: the wire transfer outlives the Send call.
+                obs.complete(now, arrival, "proto.eager", rank=self.proc.rank,
+                             category="transfer", parent=None, dest=self.dest,
+                             tag=self.tag, nbytes=self.payload.nbytes)
             world.kernel.call_later(arrival - now, self._deliver)
             # Buffer reusable immediately: eager copies into library
             # buffers at injection.
@@ -210,8 +221,18 @@ class SendOperation:
             if self.on_buffer_free is not None:
                 world.kernel.call_later(arrival - now, self.on_buffer_free)
         else:
+            world.c_rendezvous_sends.inc()
+            world.c_bytes_on_wire.inc(self.payload.nbytes)
             world.trace("send.rts", src=self.proc.rank, dest=self.dest, tag=self.tag,
                         nbytes=self.payload.nbytes)
+            if obs.enabled:
+                self._span = obs.begin(now, "proto.rendezvous", rank=self.proc.rank,
+                                       category="protocol", parent=None,
+                                       dest=self.dest, tag=self.tag,
+                                       nbytes=self.payload.nbytes)
+                obs.complete(now, now + cost.latency, "proto.rts",
+                             rank=self.proc.rank, category="handshake",
+                             parent=self._span, dest=self.dest, tag=self.tag)
             world.kernel.call_later(cost.latency, self._deliver)
         return self.handle
 
@@ -232,9 +253,18 @@ class SendOperation:
         if self.cts_granted:
             return
         self.cts_granted = True
-        cost = self.world.cost
-        self.world.trace("send.cts", src=self.proc.rank, dest=self.dest, tag=self.tag)
-        self.world.kernel.call_later(cost.latency, self._on_cts)
+        world = self.world
+        cost = world.cost
+        world.c_rendezvous_roundtrips.inc()
+        world.trace("send.cts", src=self.proc.rank, dest=self.dest, tag=self.tag)
+        if world.obs.enabled and self._span is not None:
+            now = world.kernel.now
+            # The CTS belongs to the *receiver* — it leaves when the
+            # matching receive is found.
+            world.obs.complete(now, now + cost.latency, "proto.cts", rank=self.dest,
+                               category="handshake", parent=self._span,
+                               src=self.proc.rank, tag=self.tag)
+        world.kernel.call_later(cost.latency, self._on_cts)
 
     def _on_cts(self) -> None:
         """Kernel context, at CTS arrival: push the payload."""
@@ -246,6 +276,10 @@ class SendOperation:
         arrival = done + cost.latency
         world.trace("send.push", src=self.proc.rank, dest=self.dest,
                     nbytes=self.payload.nbytes, done=done, arrival=arrival)
+        if world.obs.enabled and self._span is not None:
+            world.obs.complete(now, arrival, "proto.push", rank=self.proc.rank,
+                               category="transfer", parent=self._span,
+                               dest=self.dest, nbytes=self.payload.nbytes)
         self.handle._complete_at(done)
         if self.on_buffer_free is not None:
             world.kernel.call_later(max(0.0, done - now), self.on_buffer_free)
@@ -254,5 +288,8 @@ class SendOperation:
     def _data_landed(self) -> None:
         """Kernel context: rendezvous payload is in the user buffer."""
         self.message.data_arrived = True
+        if self._span is not None:
+            self.world.obs.end(self._span, self.world.kernel.now)
+            self._span = None
         assert self.message.data_cond is not None
         self.message.data_cond.notify_all()

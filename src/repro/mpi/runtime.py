@@ -17,11 +17,13 @@ per rank, exactly like an ``mpiexec``-launched script::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..machine.platform import Platform
 from ..machine.registry import get_platform
+from ..obs import NULL_RECORDER, MetricsRegistry, SpanRecorder
 from ..sim.kernel import Kernel
 from ..sim.sync import SimCondition
 from ..sim.trace import NullTracer, Tracer
@@ -40,13 +42,16 @@ class Process:
     def __init__(self, world: "World", rank: int):
         self.world = world
         self.rank = rank
-        self.inbox = Inbox()
+        self.inbox = Inbox(on_match=self._on_match)
         self.arrival_cond = SimCondition(world.kernel, f"arrivals@{rank}")
         self.attached: AttachedBuffer | None = None
         #: Whether this rank's recently used buffers may still be cached.
         #: The benchmark flusher clears it; data-touching operations set it.
         self.cache_warm = False
         self._win_counters: dict[int, int] = {}
+        #: Lazily bound match instruments (see ``_on_match``).
+        self._match_counter = None
+        self._match_hist = None
         self.task = None  # bound by run_mpi after spawn
 
     # ------------------------------------------------------------------
@@ -54,6 +59,20 @@ class Process:
         """Kernel context: a message/RTS reaches this process."""
         self.inbox.on_message(message)
         self.arrival_cond.notify_all()
+
+    def _on_match(self, message) -> None:
+        """Matching-engine callback: one envelope found its receive.
+
+        Hot path (fires per delivered message): the instruments are
+        bound once on first use, not looked up per call.
+        """
+        counter = self._match_counter
+        if counter is None:
+            metrics = self.world.metrics
+            counter = self._match_counter = metrics.counter("match.envelopes")
+            self._match_hist = metrics.histogram("match.message_bytes")
+        counter.inc()
+        self._match_hist.observe(message.nbytes)
 
     def touch_caches(self) -> None:
         self.cache_warm = True
@@ -92,6 +111,24 @@ class World:
         self.kernel = kernel
         self.platform = platform
         self.cost = CostModel(platform, concurrent_streams)
+        #: Always-on instrument registry (counters/gauges/histograms).
+        self.metrics = MetricsRegistry()
+        # Hot-path counters, bound once: the send/receive/match paths
+        # fire per message, so they must not pay a registry lookup each.
+        m = self.metrics
+        self.c_eager_sends = m.counter("p2p.eager_sends")
+        self.c_rendezvous_sends = m.counter("p2p.rendezvous_sends")
+        self.c_rendezvous_roundtrips = m.counter("p2p.rendezvous_roundtrips")
+        self.c_bytes_on_wire = m.counter("p2p.bytes_on_wire")
+        self.c_recv_completions = m.counter("p2p.recv_completions")
+        self.c_bytes_received = m.counter("p2p.bytes_received")
+        self.c_staged_sends = m.counter("p2p.staged_sends")
+        self.c_bytes_staged = m.counter("p2p.bytes_staged")
+        self.c_staging_chunks = m.counter("p2p.staging_chunks")
+        #: The flight recorder: the kernel's tracer when it speaks the
+        #: span API, else the shared no-op.  Instrumentation sites guard
+        #: on ``obs.enabled`` so the untraced path stays free.
+        self.obs = kernel.tracer if isinstance(kernel.tracer, SpanRecorder) else NULL_RECORDER
         self.processes: list[Process] = []
         #: RMA window states, keyed by (context id, per-context index).
         self.win_registry: dict[tuple[int, int], Any] = {}
@@ -112,6 +149,23 @@ class World:
     def trace(self, category: str, **fields: Any) -> None:
         self.kernel.tracer.record(self.kernel.now, category, **fields)
 
+    @contextmanager
+    def span(self, name: str, *, rank: int | None = None, category: str = "",
+             **attrs: Any):
+        """A scoped span over the enclosed block of task execution.
+
+        Only call when ``world.obs.enabled`` — the scoped span becomes
+        the auto-parent for everything the rank records inside it.
+        """
+        obs = self.obs
+        span = obs.begin(self.kernel.now, name, rank=rank, category=category, **attrs)
+        obs.push(rank, span)
+        try:
+            yield span
+        finally:
+            obs.pop(rank, span)
+            obs.end(span, self.kernel.now)
+
 
 @dataclass
 class JobResult:
@@ -127,6 +181,8 @@ class JobResult:
     events: int
     #: The trace, if tracing was enabled.
     tracer: Tracer
+    #: The job's metrics registry (always populated).
+    metrics: MetricsRegistry | None = None
 
     @property
     def elapsed(self) -> float:
@@ -141,6 +197,7 @@ def run_mpi(
     *,
     concurrent_streams: int = 1,
     trace: bool = False,
+    tracer: Tracer | None = None,
     max_events: int | None = None,
 ) -> JobResult:
     """Run ``main(comm)`` on ``nranks`` simulated ranks.
@@ -155,7 +212,10 @@ def run_mpi(
         Communicating pairs sharing each node's injection bandwidth
         (the section 4.7 all-cores scenario).
     trace:
-        Record a structured protocol trace (see ``result.tracer``).
+        Record a structured protocol trace (see ``result.tracer``):
+        spans plus flat events via a fresh :class:`SpanRecorder`.
+    tracer:
+        Explicit tracer/recorder instance, overriding ``trace``.
     max_events:
         Safety bound on kernel events (tests).
     """
@@ -163,14 +223,27 @@ def run_mpi(
         raise ValueError("nranks must be >= 1")
     if isinstance(platform, str):
         platform = get_platform(platform)
-    kernel = Kernel(tracer=Tracer() if trace else NullTracer())
+    if tracer is None:
+        tracer = SpanRecorder() if trace else NullTracer()
+    kernel = Kernel(tracer=tracer)
     world = World(kernel, platform, concurrent_streams=concurrent_streams)
     finish_times: list[float] = [0.0] * nranks
     results: list[Any] = [None] * nranks
 
     def make_rank_main(rank: int, comm: Comm) -> Callable[[], Any]:
         def rank_main() -> Any:
-            out = main(comm)
+            obs = world.obs
+            root = None
+            if obs.enabled:
+                root = obs.begin(kernel.now, "rank.main", rank=rank,
+                                 category="task", parent=None)
+                obs.push(rank, root)
+            try:
+                out = main(comm)
+            finally:
+                if root is not None:
+                    obs.pop(rank, root)
+                    obs.end(root, kernel.now)
             results[rank] = out
             finish_times[rank] = comm.process.task.now
             return out
@@ -191,4 +264,5 @@ def run_mpi(
         virtual_time=kernel.now,
         events=kernel.events_processed,
         tracer=kernel.tracer,
+        metrics=world.metrics,
     )

@@ -102,6 +102,24 @@ class Win:
             raise WindowError(f"{what}: rank {target_rank} exposed no window memory")
         return buf
 
+    @staticmethod
+    def _check_target_region(buf: SimBuffer, disp: int, dtype: Datatype,
+                             count: int, what: str) -> None:
+        """Validate the target region at *call* time.
+
+        Python slicing made a negative displacement silently wrap to the
+        end of the window, and out-of-range regions only surfaced at the
+        closing fence (and only for materialized windows); bounds are
+        known from the window size alone, so check eagerly.
+        """
+        if disp < 0:
+            raise WindowError(f"{what}: negative target displacement {disp}")
+        if disp > buf.nbytes:
+            raise WindowError(
+                f"{what}: target displacement {disp} beyond {buf.nbytes}-byte window"
+            )
+        check_fits(dtype, count, buf.nbytes - disp, f"{what} target")
+
     # ------------------------------------------------------------------
     def Put(
         self,
@@ -143,11 +161,21 @@ class Win:
                 f"{target_datatype.size * target_count}"
             )
         target_buf = self._target_buffer(target_rank, "Put")
+        self._check_target_region(target_buf, target_disp, target_datatype,
+                                  target_count, "Put")
         task.sleep(cost.call())
         origin_pattern = origin_datatype.access_pattern(origin_count)
         if not origin_pattern.is_contiguous:
-            task.sleep(cost.staging(origin_pattern, comm.process.cache_warm))
+            t0 = task.now
+            staging_cost = cost.staging(origin_pattern, comm.process.cache_warm)
+            task.sleep(staging_cost)
             comm.process.touch_caches()
+            comm.world.metrics.counter("rma.bytes_staged").inc(nbytes)
+            if comm.world.obs.enabled:
+                comm.world.obs.complete(t0, t0 + staging_cost, "rma.staging",
+                                        rank=comm.process.rank, category="staging",
+                                        nbytes=nbytes,
+                                        chunks=cost.staging_chunks(nbytes))
         payload = comm._build_payload(origin_buf, origin_count, origin_datatype)
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
 
@@ -161,6 +189,8 @@ class Win:
             unpack_bytes(payload.data, 0, window, tdt, tcount)
 
         self._pending.append(_QueuedOp("put", nbytes, wire, apply))
+        comm.world.metrics.counter("rma.ops").inc()
+        comm.world.metrics.counter("rma.bytes").inc(nbytes)
         comm.world.trace("rma.put", rank=comm.rank, target=target_rank, nbytes=nbytes)
 
     def Get(
@@ -196,6 +226,8 @@ class Win:
                 f"{target_datatype.size * target_count}"
             )
         target_buf = self._target_buffer(target_rank, "Get")
+        self._check_target_region(target_buf, target_disp, target_datatype,
+                                  target_count, "Get")
         task.sleep(cost.call())
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
         origin_pattern = origin_datatype.access_pattern(origin_count)
@@ -217,6 +249,8 @@ class Win:
             unpack_bytes(staged, 0, origin_buf.bytes, odt, ocount)
 
         self._pending.append(_QueuedOp("get", nbytes, wire + scatter_cost, apply))
+        comm.world.metrics.counter("rma.ops").inc()
+        comm.world.metrics.counter("rma.bytes").inc(nbytes)
         comm.world.trace("rma.get", rank=comm.rank, target=target_rank, nbytes=nbytes)
 
     def Accumulate(
@@ -241,6 +275,11 @@ class Win:
             raise WindowError("Accumulate requires a numpy origin array")
         nbytes = origin.nbytes
         target_buf = self._target_buffer(target_rank, "Accumulate")
+        if target_disp < 0 or target_disp + nbytes > target_buf.nbytes:
+            raise WindowError(
+                f"Accumulate: {nbytes} bytes at displacement {target_disp} outside "
+                f"the {target_buf.nbytes}-byte window"
+            )
         task.sleep(cost.call())
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
         snapshot = origin.copy()
@@ -253,6 +292,8 @@ class Win:
             combine(region, snapshot.reshape(-1), out=region)
 
         self._pending.append(_QueuedOp("accumulate", nbytes, wire, apply))
+        comm.world.metrics.counter("rma.ops").inc()
+        comm.world.metrics.counter("rma.bytes").inc(nbytes)
         comm.world.trace("rma.acc", rank=comm.rank, target=target_rank, nbytes=nbytes)
 
     # ------------------------------------------------------------------
@@ -266,16 +307,28 @@ class Win:
         cost = comm.world.cost
         task = comm.process.task
         task.sleep(cost.call())
+        obs = comm.world.obs
         if self._pending:
             # Drain: transfers serialize on the origin's injection port;
             # the final payload lands one latency later.
             total = sum(op.wire_time for op in self._pending)
+            drained_bytes = sum(op.nbytes for op in self._pending)
+            t0 = task.now
             task.sleep(total + cost.latency)
             for op in self._pending:
                 op.apply()
+            comm.world.metrics.counter("rma.drains").inc()
+            if obs.enabled:
+                obs.complete(t0, t0 + total, "rma.drain", rank=comm.process.rank,
+                             category="rma", nops=len(self._pending),
+                             nbytes=drained_bytes)
             comm.world.trace("rma.drain", rank=comm.rank, nops=len(self._pending))
             self._pending.clear()
+        t_sync = task.now
         self._state.barrier.arrive(task, release_cost=cost.fence(comm.size))
+        if obs.enabled:
+            obs.complete(t_sync, task.now, "rma.fence", rank=comm.process.rank,
+                         category="sync", epoch=self._fence_count)
         self._fence_count += 1
 
     def free(self) -> None:

@@ -1,0 +1,181 @@
+"""Chrome ``trace_event`` export.
+
+Produces the JSON object format understood by ``chrome://tracing`` and
+Perfetto: closed spans become ``"X"`` (complete) events with
+microsecond ``ts``/``dur``, flat trace events become ``"i"`` (instant)
+markers, and each rank gets a named thread via ``"M"`` metadata
+events.  ``validate_chrome_trace`` checks a document against the
+checked-in JSON schema (via ``jsonschema`` when available, with a
+structural fallback so the test suite needs no extra dependency).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..sim.trace import Tracer
+from .recorder import SpanRecorder
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "load_chrome_trace_schema",
+]
+
+_SCHEMA_PATH = Path(__file__).with_name("chrome_trace.schema.json")
+
+#: tid used for spans/events that belong to no rank (world-level).
+_GLOBAL_TID = 99
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    # numpy scalars and anything else exotic
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+def _event_rank(fields: dict[str, Any]) -> int | None:
+    for key in ("rank", "src"):
+        if key in fields:
+            return int(fields[key])
+    return None
+
+
+def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
+    """Render a tracer/recorder as a Chrome ``trace_event`` document.
+
+    Works on a plain :class:`~repro.sim.trace.Tracer` (instants only)
+    or a :class:`SpanRecorder` (spans + instants).  Times convert from
+    virtual seconds to microseconds, the trace-viewer convention.
+    """
+    events: list[dict[str, Any]] = []
+    tids: set[int] = set()
+
+    spans = tracer.all_spans() if isinstance(tracer, SpanRecorder) else []
+    for span in spans:
+        if span.end is None:
+            continue
+        tid = span.rank if span.rank is not None else _GLOBAL_TID
+        tids.add(tid)
+        args = {str(k): _json_safe(v) for k, v in span.attrs.items()}
+        args["sid"] = span.sid
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": span.begin * 1e6,
+                "dur": (span.end - span.begin) * 1e6,
+                "args": args,
+            }
+        )
+
+    for event in tracer:
+        rank = _event_rank(event.fields)
+        tid = rank if rank is not None else _GLOBAL_TID
+        tids.add(tid)
+        events.append(
+            {
+                "name": event.category,
+                "cat": "marker",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": event.time * 1e6,
+                "args": {str(k): _json_safe(v) for k, v in event.fields.items()},
+            }
+        )
+
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "simulated MPI job"},
+        }
+    ]
+    for tid in sorted(tids):
+        label = f"rank {tid}" if tid != _GLOBAL_TID else "world"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Export ``tracer`` to ``path`` as Chrome trace JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer), indent=1, sort_keys=True))
+    return path
+
+
+def load_chrome_trace_schema() -> dict[str, Any]:
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``doc`` is not a valid trace document.
+
+    Uses ``jsonschema`` when installed; otherwise applies an equivalent
+    structural check of the same constraints.
+    """
+    schema = load_chrome_trace_schema()
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - exercised on minimal installs
+        _validate_structurally(doc)
+        return
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as exc:
+        raise ValueError(f"invalid Chrome trace document: {exc.message}") from exc
+
+
+def _validate_structurally(doc: dict[str, Any]) -> None:
+    """Dependency-free mirror of the schema's constraints."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] missing required key {key!r}")
+        if not isinstance(ev["name"], str) or ev["ph"] not in ("X", "i", "M"):
+            raise ValueError(f"traceEvents[{i}] has a bad name/ph")
+        if ev["ph"] != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"traceEvents[{i}] needs a non-negative numeric 'ts'")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] ('X') needs a non-negative 'dur'")

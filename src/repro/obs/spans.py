@@ -1,0 +1,62 @@
+"""The span model: one named interval of virtual time.
+
+A span is the hierarchical counterpart of a flat
+:class:`~repro.sim.trace.TraceEvent`: it has a begin *and* an end
+timestamp, an owning rank, a parent link, and free-form key/value
+attributes.  Spans are mutable while open (the recorder closes them)
+and are queried through :class:`~repro.obs.recorder.SpanRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span"]
+
+
+@dataclass
+class Span:
+    """One recorded interval of virtual time.
+
+    ``parent_id`` is the ``sid`` of the enclosing span, or ``None`` for
+    a root.  Detached roots (in-flight protocol spans that outlive the
+    issuing call) are roots by construction; task roots are the per-rank
+    ``rank.main`` spans.
+    """
+
+    sid: int
+    name: str
+    category: str
+    rank: int | None
+    begin: float
+    end: float | None = None
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length in virtual seconds (0.0 while open)."""
+        return (self.end - self.begin) if self.end is not None else 0.0
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def contains(self, other: "Span") -> bool:
+        """Interval containment (closed spans only)."""
+        if self.end is None or other.end is None:
+            return False
+        return self.begin <= other.begin and other.end <= self.end
+
+    def format(self) -> str:
+        end = f"{self.end:.9f}" if self.end is not None else "open"
+        body = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        rank = f"r{self.rank}" if self.rank is not None else "r-"
+        return f"[{self.begin:.9f}..{end}] {rank} {self.name} {body}".rstrip()

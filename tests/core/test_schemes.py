@@ -70,69 +70,102 @@ class TestEverySchemeDelivers:
         assert a.events == b.events
 
 
+def run_traced_iteration(key, layout, platform="skx-impi"):
+    """One manually-driven scheme iteration under tracing; the JobResult
+    carries both the span recorder (``.tracer``) and ``.metrics``."""
+    from repro.core.schemes import SchemeContext
+    from repro.mpi.runtime import run_mpi
+
+    ctx = SchemeContext(layout=layout, materialize=False)
+    sender = make_scheme(key)
+    receiver = make_scheme(key)
+
+    def main(comm):
+        if comm.rank == 0:
+            sender.setup_sender(comm, ctx)
+            comm.Barrier()
+            sender.iteration_sender(comm)
+            comm.Barrier()
+        else:
+            receiver.setup_receiver(comm, ctx)
+            comm.Barrier()
+            receiver.iteration_receiver(comm)
+            comm.Barrier()
+
+    return run_mpi(main, 2, platform, trace=True)
+
+
 class TestCodePaths:
-    """The trace proves each scheme takes the code path the paper says."""
+    """The span tree proves each scheme takes the code path the paper
+    says (typed queries on ``repro.obs`` spans, not string matching)."""
 
-    def test_paths_via_manual_runs(self, skx):
-        """Drive one iteration of each scheme manually with tracing."""
-        from repro.core.schemes import SchemeContext
-        from repro.mpi.runtime import run_mpi
+    layout = StridedLayout(nblocks=256)  # 2048 B payload
 
-        layout = StridedLayout(nblocks=256)
-        ctx = SchemeContext(layout=layout, materialize=False)
+    def test_reference_no_staging_no_pack(self):
+        obs = run_traced_iteration("reference", self.layout).tracer
+        assert obs.span_count("p2p.staging") == 0
+        assert obs.span_count(category="pack") == 0
 
-        def run_traced(key):
-            sender = make_scheme(key)
-            receiver = make_scheme(key)
+    def test_copying_user_gather_not_mpi(self):
+        # copying: a user-space gather; no internal staging, no MPI pack
+        job = run_traced_iteration("copying", self.layout)
+        obs = job.tracer
+        assert obs.span_count("copy.gather", rank=0) == 1
+        assert obs.span_count("p2p.staging") == 0
+        assert obs.span_count(category="pack") == 0
+        assert job.metrics.counter_value("copy.user_gather_bytes") == 2048
 
-            def main(comm):
-                if comm.rank == 0:
-                    sender.setup_sender(comm, ctx)
-                    comm.Barrier()
-                    sender.iteration_sender(comm)
-                    comm.Barrier()
-                else:
-                    receiver.setup_receiver(comm, ctx)
-                    comm.Barrier()
-                    receiver.iteration_receiver(comm)
-                    comm.Barrier()
+    @pytest.mark.parametrize("key", ["vector", "subarray"])
+    def test_derived_types_stage_internally(self, key):
+        job = run_traced_iteration(key, self.layout)
+        obs = job.tracer
+        staging = obs.spans("p2p.staging", rank=0)
+        assert len(staging) == 1
+        assert staging[0]["nbytes"] == 2048
+        assert staging[0]["chunks"] == 1  # small message: one internal buffer
+        # The staging span nests inside its send-call envelope.
+        envelope = obs.span_by_id(staging[0].parent_id)
+        assert envelope.name == "p2p.send_call"
+        assert envelope.contains(staging[0])
+        assert obs.span_count(category="pack") == 0
 
-            return run_mpi(main, 2, "skx-impi", trace=True).tracer
+    def test_buffered_copies_densely(self):
+        job = run_traced_iteration("buffered", self.layout)
+        obs = job.tracer
+        assert obs.span_count("p2p.bsend_copy", rank=0) == 1
+        assert obs.span_count("p2p.staging") == 0
+        assert job.metrics.counter_value("p2p.bsend_bytes") == 2048
 
-        # reference: no staging, no pack
-        tr = run_traced("reference")
-        assert tr.count("staging") == 0 and tr.count("pack") == 0
+    def test_onesided_rma_path(self):
+        job = run_traced_iteration("onesided", self.layout)
+        obs = job.tracer
+        assert job.metrics.counter_value("rma.ops") == 1
+        assert obs.span_count("rma.drain") == 1
+        # The payload moves through the window, not the two-sided path.
+        assert obs.span_count("p2p.staging") == 0
 
-        # copying: no staging (user copy), no MPI pack
-        tr = run_traced("copying")
-        assert tr.count("staging") == 0 and tr.count("pack") == 0
-
-        # vector/subarray: staged internally, never packed in user space
-        for key in ("vector", "subarray"):
-            tr = run_traced(key)
-            assert tr.count("staging") == 1, key
-            assert tr.count("pack") == 0, key
-
-        # buffered: a bsend event; transfer is a dense copy (no staging)
-        tr = run_traced("buffered")
-        assert tr.count("bsend") == 1
-        assert tr.count("staging") == 0
-
-        # onesided: an rma put and drain, no two-sided completion for the payload
-        tr = run_traced("onesided")
-        assert tr.count("rma.put") == 1
-        assert tr.count("rma.drain") == 1
-
-        # packing(e): one pack event with per-block call count
-        tr = run_traced("packing-element")
-        packs = tr.events("pack")
+    def test_packing_element_per_block_calls(self):
+        obs = run_traced_iteration("packing-element", self.layout).tracer
+        packs = obs.spans("pack.pack")
         assert len(packs) == 1 and packs[0]["ncalls"] == 256
 
-        # packing(v): one pack event with a single call
-        tr = run_traced("packing-vector")
-        packs = tr.events("pack")
+    def test_packing_vector_single_call(self):
+        obs = run_traced_iteration("packing-vector", self.layout).tracer
+        packs = obs.spans("pack.pack")
         assert len(packs) == 1 and packs[0]["ncalls"] == 1
-        assert tr.count("staging") == 0  # user-space buffer, no staging
+        assert obs.span_count("p2p.staging") == 0  # user-space buffer
+
+    def test_large_message_staging_chunk_count(self):
+        """Above the 32 MB threshold the internal staging pipeline runs
+        in 8 MiB chunks: a 64 MB vector send stages in exactly
+        ceil(64e6 / 8 MiB) = 8 of them."""
+        big = StridedLayout(nblocks=8_000_000, blocklen=1, stride=2)  # 64 MB
+        job = run_traced_iteration("vector", big)
+        staging = job.tracer.spans("p2p.staging")
+        assert len(staging) == 1
+        assert staging[0]["nbytes"] == 64_000_000
+        assert staging[0]["chunks"] == 8
+        assert job.metrics.counter_value("p2p.staging_chunks") == 8
 
 
 class TestSchemeOrdering:

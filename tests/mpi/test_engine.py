@@ -96,6 +96,47 @@ class TestPackErrors:
         with pytest.raises(TypeError):
             pack_bytes([1, 2, 3], BYTE, 3, np.zeros(3, dtype=np.uint8))
 
+    def test_negative_pack_offset_rejected(self):
+        # Regression: a negative dst_offset must not wrap to the tail
+        # of the destination via Python slicing semantics.
+        v = make_vector(4, 1, 2, DOUBLE).commit()
+        src = np.arange(8, dtype=np.float64)
+        with pytest.raises(PackError, match="overflows"):
+            pack_bytes(src, v, 1, np.zeros(64, dtype=np.uint8), dst_offset=-8)
+
+    def test_negative_unpack_offset_rejected(self):
+        v = make_vector(4, 1, 2, DOUBLE).commit()
+        with pytest.raises(PackError, match="overruns"):
+            unpack_bytes(np.zeros(64, dtype=np.uint8), -8,
+                         np.zeros(8, dtype=np.float64), v, 1)
+
+    def test_offset_overrun_rejected(self):
+        # Fits from offset 0 but not from offset 40.
+        v = make_vector(4, 1, 2, DOUBLE).commit()  # packs 32 B
+        src = np.arange(8, dtype=np.float64)
+        dst = np.zeros(64, dtype=np.uint8)
+        pack_bytes(src, v, 1, dst, dst_offset=32)  # exactly fits
+        with pytest.raises(PackError, match="overflows"):
+            pack_bytes(src, v, 1, dst, dst_offset=40)
+        with pytest.raises(PackError, match="overruns"):
+            unpack_bytes(dst, 40, np.zeros(8, dtype=np.float64), v, 1)
+
+    def test_noncontiguous_multidim_buffer_rejected(self):
+        # Regression: reshape(-1) on a non-contiguous array returns a
+        # *copy* — unpack writes would be lost and pack reads stale.
+        v = make_vector(4, 1, 2, BYTE).commit()
+        sliced = np.zeros((4, 6), dtype=np.uint8)[:, ::2]  # 2-D, non-contiguous
+        with pytest.raises(DatatypeError, match="C-contiguous"):
+            pack_bytes(sliced, v, 1, np.zeros(8, dtype=np.uint8))
+        with pytest.raises(DatatypeError, match="C-contiguous"):
+            unpack_bytes(np.zeros(8, dtype=np.uint8), 0, sliced, v, 1)
+
+    def test_noncontiguous_typed_buffer_rejected(self):
+        v = make_vector(4, 1, 2, DOUBLE).commit()
+        strided = np.arange(16, dtype=np.float64)[::2]  # 1-D, non-contiguous
+        with pytest.raises(DatatypeError, match="C-contiguous"):
+            pack_bytes(strided, v, 1, np.zeros(4, dtype=np.float64))
+
     def test_negative_displacement_rejected(self):
         from repro.mpi.datatypes import make_hindexed
 

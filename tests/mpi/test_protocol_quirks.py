@@ -83,6 +83,62 @@ class TestCrayQuirks:
         assert tracer.count("send.rts", nbytes=nbytes) == 1
 
 
+class TestRendezvousSpanOrdering:
+    """The handshake is observable as an ordered span tree: the
+    rendezvous root opens at the send and closes when the payload lands,
+    with RTS -> CTS -> push children strictly ordered inside it."""
+
+    @pytest.fixture
+    def cray(self):
+        return get_platform("ls5-cray")
+
+    def test_handshake_children_ordered_and_nested(self, cray):
+        nbytes = 64 * 1024  # > 8 KiB limit: rendezvous
+        recorder = traced_send(cray, nbytes)
+        (rndv,) = recorder.spans("proto.rendezvous")
+        (rts,) = recorder.spans("proto.rts")
+        (cts,) = recorder.spans("proto.cts")
+        (push,) = recorder.spans("proto.push")
+        # All three legs are children of the rendezvous span ...
+        for child in (rts, cts, push):
+            assert child.parent_id == rndv.sid
+            assert rndv.contains(child)
+        assert recorder.children(rndv) == [rts, cts, push]
+        # ... strictly ordered: RTS flies, then the CTS grant, then the
+        # payload push; the CTS cannot be granted before the RTS lands
+        # and the push cannot start before the CTS arrives.
+        assert rts.begin < cts.begin < push.begin
+        assert rts.end <= cts.begin
+        assert cts.end <= push.begin
+        # The rendezvous closes exactly when the pushed payload lands.
+        assert push.end == rndv.end
+        # RTS and push are sender-side; the CTS grant is receiver-side.
+        assert rts.rank == 0 and push.rank == 0 and cts.rank == 1
+        assert rndv.category == "protocol"
+        assert {rts.category, cts.category} == {"handshake"}
+        assert push.category == "transfer"
+
+    def test_forced_rendezvous_has_span_tree_eager_does_not(self, cray):
+        # The quirk-forced tiny derived send (see above) handshakes, so
+        # it grows the same span tree ...
+        def main(comm):
+            v = make_vector(512, 1, 2, DOUBLE).commit()
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(8192), dest=1, count=1, datatype=v)
+            else:
+                comm.Recv(SimBuffer.virtual(4096), source=0)
+
+        recorder = run_mpi(main, 2, cray, trace=True).tracer
+        assert recorder.span_count("proto.rendezvous", nbytes=4096) == 1
+        assert recorder.span_count("proto.rts") == 1
+        # ... while a plain eager send of the same size records one
+        # complete transfer span and no handshake at all.
+        eager = traced_send(cray, 4096)
+        assert eager.span_count("proto.eager", nbytes=4096) == 1
+        assert eager.span_count("proto.rendezvous") == 0
+        assert eager.span_count(category="handshake") == 0
+
+
 class TestStandardProtocolSelection:
     def test_impi_derived_uses_normal_limit(self):
         """No quirk on Intel MPI: a small derived send is eager."""

@@ -232,3 +232,86 @@ class TestWindowErrors:
                 return a_buf[1], b_buf[1]
 
         assert run_mpi(main, 2, ideal).results[1] == (1.0, 2.0)
+
+
+class TestTargetDisplacementValidation:
+    """Regression: a negative ``target_disp`` used to wrap around the
+    window buffer via Python slicing and land bytes at the tail; bounds
+    are now validated when the op is issued, not at fence-apply."""
+
+    def _put_at(self, ideal, doubles, disp):
+        def main(comm):
+            if comm.rank == 0:
+                win = comm.Win_create(None)
+                win.Fence()
+                win.Put(doubles(8), 1, target_disp=disp)
+                win.Fence()
+            else:
+                win = comm.Win_create(np.zeros(16, np.float64))
+                win.Fence()
+                win.Fence()
+
+        return run_mpi(main, 2, ideal)
+
+    def test_negative_disp_rejected(self, ideal, doubles):
+        with pytest.raises(WindowError, match="negative target displacement"):
+            self._put_at(ideal, doubles, -8)
+
+    def test_disp_beyond_window_rejected(self, ideal, doubles):
+        with pytest.raises(WindowError, match="beyond"):
+            self._put_at(ideal, doubles, 1000)
+
+    def test_disp_overrun_rejected(self, ideal, doubles):
+        # In bounds at the start, but 64 B from byte 72 overruns 128.
+        with pytest.raises(Exception, match="reaches byte|holds only"):
+            self._put_at(ideal, doubles, 72)
+
+    def test_get_negative_disp_rejected(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                win = comm.Win_create(None)
+                win.Fence()
+                win.Get(np.zeros(8, np.float64), 1, target_disp=-16)
+                win.Fence()
+            else:
+                win = comm.Win_create(np.zeros(8, np.float64))
+                win.Fence()
+                win.Fence()
+
+        with pytest.raises(WindowError, match="negative target displacement"):
+            run_mpi(main, 2, ideal)
+
+    def test_accumulate_negative_disp_rejected(self, ideal, doubles):
+        def main(comm):
+            if comm.rank == 0:
+                win = comm.Win_create(None)
+                win.Fence()
+                win.Accumulate(doubles(4), 1, target_disp=-8)
+                win.Fence()
+            else:
+                win = comm.Win_create(np.zeros(4, np.float64))
+                win.Fence()
+                win.Fence()
+
+        with pytest.raises(WindowError):
+            run_mpi(main, 2, ideal)
+
+    def test_valid_tail_disp_still_works(self, ideal, doubles):
+        """The guard must not reject the legal edge: a Put that ends
+        exactly at the window's last byte."""
+
+        def main(comm):
+            if comm.rank == 0:
+                win = comm.Win_create(None)
+                win.Fence()
+                win.Put(doubles(2), 1, target_disp=48)
+                win.Fence()
+            else:
+                tgt = np.zeros(8, np.float64)
+                win = comm.Win_create(tgt)
+                win.Fence()
+                win.Fence()
+                return tgt.copy()
+
+        out = run_mpi(main, 2, ideal).results[1]
+        assert np.array_equal(out, [0, 0, 0, 0, 0, 0, 0, 1])

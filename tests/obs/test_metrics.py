@@ -1,0 +1,153 @@
+"""Metrics-registry unit tests plus end-to-end counter checks: the
+always-on instruments must report exactly what a known workload does."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
+from repro.mpi import SimBuffer, run_mpi
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 42
+
+    def test_gauge_tracks_max(self):
+        g = Gauge("buf")
+        g.set(10)
+        g.add(-4)
+        assert g.value == 6
+        assert g.max_value == 10
+        g.add(20)
+        assert g.max_value == 26
+
+    def test_histogram_buckets_and_moments(self):
+        h = Histogram("bytes")
+        for v in (1, 3, 5, 1024, 10**12):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 1 + 3 + 5 + 1024 + 10**12
+        assert h.min == 1 and h.max == 10**12
+        assert h.mean == h.total / 5
+        # 1 -> bucket 4**0; 3 -> 4**1; 5 -> 4**2; 1024 -> 4**5;
+        # 1e12 > 4**16 -> overflow bucket.
+        assert h.bucket_counts[0] == 1
+        assert h.bucket_counts[1] == 1
+        assert h.bucket_counts[2] == 1
+        assert h.bucket_counts[5] == 1
+        assert h.bucket_counts[-1] == 1
+        assert sum(h.bucket_counts) == h.count
+
+    def test_empty_histogram(self):
+        h = Histogram("empty")
+        assert h.mean == 0.0
+        assert h.count == 0 and h.min == math.inf
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.names() == {"a", "g", "h"}
+
+    def test_counter_value_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never.touched") == 0
+        assert "never.touched" not in reg.names()  # query does not create
+
+    def test_snapshot_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(64)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == {"value": 1.5, "max": 1.5}
+        assert snap["h"]["count"] == 1 and snap["h"]["sum"] == 64
+        assert "c = 3" in reg.format()
+
+
+class TestEndToEndCounters:
+    def test_eager_ping_pong_counts(self, ideal):
+        """256 B < the ideal 1000 B eager limit: two eager sends, two
+        matched envelopes, no rendezvous, no staging."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(256), dest=1)
+                comm.Recv(SimBuffer.virtual(256), source=1)
+            else:
+                comm.Recv(SimBuffer.virtual(256), source=0)
+                comm.Send(SimBuffer.virtual(256), dest=0)
+
+        m = run_mpi(main, 2, ideal).metrics
+        assert m.counter_value("p2p.eager_sends") == 2
+        assert m.counter_value("p2p.rendezvous_sends") == 0
+        assert m.counter_value("p2p.bytes_on_wire") == 512
+        assert m.counter_value("match.envelopes") == 2
+        assert m.counter_value("p2p.recv_completions") == 2
+        assert m.counter_value("p2p.staged_sends") == 0
+        hist = m.histogram("match.message_bytes")
+        assert hist.count == 2 and hist.total == 512
+
+    def test_rendezvous_roundtrip_counts(self, ideal):
+        """100 kB > the eager limit: one rendezvous with one RTS/CTS
+        round-trip."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(100_000), dest=1)
+            else:
+                comm.Recv(SimBuffer.virtual(100_000), source=0)
+
+        m = run_mpi(main, 2, ideal).metrics
+        assert m.counter_value("p2p.rendezvous_sends") == 1
+        assert m.counter_value("p2p.rendezvous_roundtrips") == 1
+        assert m.counter_value("p2p.eager_sends") == 0
+        assert m.counter_value("p2p.bytes_on_wire") == 100_000
+
+    def test_scheme_metrics_scale_with_iterations(self, ideal):
+        result = run_pingpong(
+            "vector",
+            strided_for_bytes(100_000),
+            ideal,
+            policy=TimingPolicy(iterations=3, flush=True),
+            materialize=False,
+        )
+        m = result.metrics
+        # One staged (derived-datatype) send per iteration ...
+        assert m.counter_value("p2p.staged_sends") == 3
+        assert m.counter_value("p2p.bytes_staged") == 300_000
+        # ... and both ranks flush between the timed ping-pongs.
+        assert m.counter_value("cache.flushes") == 6
+
+    def test_rma_metrics(self, ideal):
+        import numpy as np
+
+        def main(comm):
+            if comm.rank == 0:
+                win = comm.Win_create(None)
+                win.Fence()
+                win.Put(np.arange(8, dtype=np.float64), 1)
+                win.Fence()
+            else:
+                win = comm.Win_create(np.zeros(8, np.float64))
+                win.Fence()
+                win.Fence()
+
+        m = run_mpi(main, 2, ideal).metrics
+        assert m.counter_value("rma.ops") == 1
+        assert m.counter_value("rma.bytes") == 64
+        assert m.counter_value("rma.drains") >= 1
