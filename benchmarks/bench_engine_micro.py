@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi import DOUBLE, make_indexed_block, make_vector, run_mpi
-from repro.mpi.datatypes import pack_bytes, unpack_bytes
+from repro.mpi.datatypes import pack_bytes, plan_cache_capacity, unpack_bytes
 
 N = 1 << 20  # one million doubles of payload
 
@@ -49,6 +49,40 @@ def test_irregular_gather_throughput(benchmark):
     benchmark(lambda: pack_bytes(src, idx, 1, dst))
     assert dst[0] == float(disps[0])
     benchmark.extra_info["blocks"] = nblocks
+
+
+def test_plan_cache_hit_path(benchmark):
+    """Repeated small packs of one (datatype, count): the loop the plan
+    cache exists for.  Each call should cost one cache hit plus the byte
+    movement, with no flatten/replicate/pattern work."""
+    nblocks, count, calls = 512, 4, 200
+    vec = make_vector(nblocks, 1, 2, DOUBLE).commit()
+    src = np.arange(2 * nblocks * count, dtype=np.float64)
+    dst = np.zeros(nblocks * count, dtype=np.float64)
+
+    def loop():
+        for _ in range(calls):
+            pack_bytes(src, vec, count, dst)
+
+    benchmark(loop)
+    benchmark.extra_info["calls"] = calls
+
+
+def test_plan_cache_cold_path(benchmark):
+    """The same loop with the cache disabled — every call recompiles.
+    The hit/cold ratio is the cache's wall-clock win."""
+    nblocks, count, calls = 512, 4, 200
+    vec = make_vector(nblocks, 1, 2, DOUBLE).commit()
+    src = np.arange(2 * nblocks * count, dtype=np.float64)
+    dst = np.zeros(nblocks * count, dtype=np.float64)
+
+    def loop():
+        with plan_cache_capacity(0):
+            for _ in range(calls):
+                pack_bytes(src, vec, count, dst)
+
+    benchmark(loop)
+    benchmark.extra_info["calls"] = calls
 
 
 def test_kernel_pingpong_event_rate(benchmark):

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from .datatypes import Datatype
+from .datatypes.plan import plan_for
 from .errors import CommunicatorError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -151,9 +152,30 @@ def allreduce(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray,
     bcast(comm, recvbuf, root=0)
 
 
+def _local_copy(comm: "Comm", src: np.ndarray, dst: np.ndarray,
+                count: int | None, datatype: Datatype) -> None:
+    """Root-local contribution of a derived-type gather/scatter: move
+    ``count`` elements of ``datatype`` from ``src``'s layout into
+    ``dst``'s through the compiled plan (pack, then unpack) so the root
+    lands exactly the bytes a self-send would."""
+    datatype.require_committed()
+    if count is None:
+        count = src.nbytes // datatype.extent if datatype.extent > 0 else 0
+    plan = plan_for(datatype, count, comm.world.metrics)
+    staged = np.empty(plan.nbytes, dtype=np.uint8)
+    plan.pack_into(src, staged)
+    plan.unpack_from(staged, 0, dst)
+
+
 def gather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray | None,
-           root: int = 0) -> None:
-    """Linear gather to ``root``; ``recvbuf`` is ``(size, ...)`` shaped."""
+           root: int = 0, *, count: int | None = None,
+           datatype: Datatype | None = None) -> None:
+    """Linear gather to ``root``; ``recvbuf`` is ``(size, ...)`` shaped.
+
+    With ``datatype`` given, every rank's contribution is ``count``
+    elements of that (possibly derived) type; the per-rank transfers
+    ride the plan-compiled p2p path.
+    """
     size = comm.size
     if not 0 <= root < size:
         raise CommunicatorError(f"gather root {root} outside [0, {size})")
@@ -165,15 +187,21 @@ def gather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray | None,
             raise CommunicatorError(
                 f"recvbuf first dimension {recvbuf.shape[0]} != communicator size {size}"
             )
-        recvbuf[root] = sendbuf
+        if datatype is None:
+            recvbuf[root] = sendbuf
+        else:
+            root_slot = recvbuf[root]
+            if not root_slot.flags.c_contiguous:
+                raise CommunicatorError("recvbuf slots must be C-contiguous")
+            _local_copy(comm, sendbuf, root_slot, count, datatype)
         for source in range(size):
             if source != root:
                 slot = recvbuf[source]
                 if not slot.flags.c_contiguous:
                     raise CommunicatorError("recvbuf slots must be C-contiguous")
-                comm.Recv(slot, source=source, tag=tag)
+                comm.Recv(slot, source=source, tag=tag, count=count, datatype=datatype)
     else:
-        comm.Send(sendbuf, dest=root, tag=tag)
+        comm.Send(sendbuf, dest=root, tag=tag, count=count, datatype=datatype)
 
 
 def allgather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
@@ -218,9 +246,14 @@ def exscan(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "su
 
 
 def scatter(comm: "Comm", sendbuf: np.ndarray | None, recvbuf: np.ndarray,
-            root: int = 0) -> None:
+            root: int = 0, *, count: int | None = None,
+            datatype: Datatype | None = None) -> None:
     """Linear scatter from ``root``; ``sendbuf`` is ``(size, ...)``
-    shaped at the root, ignored elsewhere."""
+    shaped at the root, ignored elsewhere.
+
+    With ``datatype`` given, each slot carries ``count`` elements of
+    that (possibly derived) type through the plan-compiled p2p path.
+    """
     size = comm.size
     if not 0 <= root < size:
         raise CommunicatorError(f"scatter root {root} outside [0, {size})")
@@ -232,15 +265,21 @@ def scatter(comm: "Comm", sendbuf: np.ndarray | None, recvbuf: np.ndarray,
             raise CommunicatorError(
                 f"sendbuf first dimension {sendbuf.shape[0]} != communicator size {size}"
             )
-        recvbuf[...] = sendbuf[root]
+        if datatype is None:
+            recvbuf[...] = sendbuf[root]
+        else:
+            root_slot = sendbuf[root]
+            if not root_slot.flags.c_contiguous:
+                raise CommunicatorError("sendbuf slots must be C-contiguous")
+            _local_copy(comm, root_slot, recvbuf, count, datatype)
         for dest in range(size):
             if dest != root:
                 slot = sendbuf[dest]
                 if not slot.flags.c_contiguous:
                     raise CommunicatorError("sendbuf slots must be C-contiguous")
-                comm.Send(slot, dest=dest, tag=tag)
+                comm.Send(slot, dest=dest, tag=tag, count=count, datatype=datatype)
     else:
-        comm.Recv(recvbuf, source=root, tag=tag)
+        comm.Recv(recvbuf, source=root, tag=tag, count=count, datatype=datatype)
 
 
 def alltoall(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:

@@ -16,7 +16,7 @@ from ..sim.sync import SimCondition
 from .buffers import SimBuffer, as_simbuffer
 from .datatypes import BYTE, Datatype, from_numpy_dtype, pack_bytes, unpack_bytes
 from .datatypes.basic import PACKED, BasicType
-from .datatypes.engine import check_fits
+from .datatypes.plan import TransferPlan, plan_for
 from .errors import CommunicatorError, TruncationError
 from .matching import PostedRecv
 from .protocol import Payload, SendOperation
@@ -103,11 +103,13 @@ class Comm:
         buf: SimBuffer | np.ndarray,
         count: int | None,
         datatype: Datatype | None,
-    ) -> tuple[SimBuffer, int, Datatype]:
-        """Normalize a (buf, count, datatype) triple.
+    ) -> tuple[SimBuffer, int, Datatype, TransferPlan]:
+        """Normalize a (buf, count, datatype) triple and fetch the
+        cached :class:`TransferPlan` of the transfer.
 
         Numpy arrays get automatic datatype discovery; a bare
-        :class:`SimBuffer` defaults to BYTE.
+        :class:`SimBuffer` defaults to BYTE.  Bounds checking runs
+        against the plan's precomputed footprint — O(1), no flattening.
         """
         if datatype is None:
             if isinstance(buf, np.ndarray):
@@ -125,17 +127,16 @@ class Comm:
         if count < 0:
             raise CommunicatorError(f"negative count {count}")
         datatype.require_committed()
+        plan = plan_for(datatype, count, self.world.metrics)
         if sbuf.materialized:
-            check_fits(datatype, count, sbuf.nbytes, "communication buffer")
-        else:
+            plan.check_fits(sbuf.nbytes, "communication buffer")
+        elif plan.runs and plan.max_end > sbuf.nbytes:
             # Virtual buffers still get bounds checking against their size.
-            runs = datatype.flatten(count)
-            if runs and max(r.max_end for r in runs) > sbuf.nbytes:
-                raise CommunicatorError(
-                    f"datatype {datatype.name!r} x{count} exceeds virtual buffer "
-                    f"of {sbuf.nbytes} bytes"
-                )
-        return sbuf, count, datatype
+            raise CommunicatorError(
+                f"datatype {datatype.name!r} x{count} exceeds virtual buffer "
+                f"of {sbuf.nbytes} bytes"
+            )
+        return sbuf, count, datatype, plan
 
     def _check_peer(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.size:
@@ -148,12 +149,12 @@ class Comm:
     # ------------------------------------------------------------------
     # Payload construction (functional side of a send)
     # ------------------------------------------------------------------
-    def _build_payload(self, sbuf: SimBuffer, count: int, datatype: Datatype) -> Payload:
-        nbytes = datatype.size * count
+    def _build_payload(self, sbuf: SimBuffer, plan: TransferPlan) -> Payload:
+        nbytes = plan.nbytes
         if not sbuf.materialized:
             return Payload(nbytes, None)
         data = np.empty(nbytes, dtype=np.uint8)
-        pack_bytes(sbuf.bytes, datatype, count, data)
+        plan.pack_into(sbuf.bytes, data)
         return Payload(nbytes, data)
 
     # ------------------------------------------------------------------
@@ -171,7 +172,7 @@ class Comm:
     ) -> SendOperation:
         """Inline sender-side work shared by Send/Isend/Ssend."""
         self._check_peer(dest, "destination")
-        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        sbuf, count, datatype, plan = self._resolve(buf, count, datatype)
         task = self.process.task
         cost = self._cost
         obs = self.world.obs
@@ -185,10 +186,10 @@ class Comm:
         # tracing never perturbs virtual time or the event count.
         call_cost = cost.call()
         delay = call_cost
-        nbytes = datatype.size * count
+        nbytes = plan.nbytes
         # Contiguity of the whole transfer, not of one element: count
         # replicas of a dense-but-padded type are still strided.
-        pattern = datatype.access_pattern(count)
+        pattern = plan.pattern
         derived = not pattern.is_contiguous
         staging_cost = 0.0
         chunks = 0
@@ -205,7 +206,7 @@ class Comm:
             self.process.touch_caches()
             self.world.trace("staging", rank=self.rank, nbytes=nbytes,
                              datatype=datatype.name)
-        payload = self._build_payload(sbuf, count, datatype)
+        payload = self._build_payload(sbuf, plan)
         delay += cost.send_overhead
         if not self.world.platform.network.nic_offload and nbytes:
             # Without NIC offload the core babysits the injection.
@@ -220,7 +221,8 @@ class Comm:
                 obs.complete(t0 + call_cost, t0 + call_cost + staging_cost,
                              "p2p.staging", rank=rank, category="staging",
                              parent=envelope, nbytes=nbytes,
-                             datatype=datatype.name, chunks=chunks)
+                             datatype=plan.datatype_name, chunks=chunks,
+                             plan_reuse=plan.reuses)
         op = SendOperation(
             self.world,
             self.process,
@@ -261,26 +263,26 @@ class Comm:
         the platform's buffered-send bandwidth derating (section 4.2).
         """
         self._check_peer(dest, "destination")
-        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        sbuf, count, datatype, plan = self._resolve(buf, count, datatype)
         task = self.process.task
         cost = self._cost
         obs = self.world.obs
         t0 = task.now if obs.enabled else 0.0
         call_cost = cost.call()
         delay = call_cost
-        nbytes = datatype.size * count
+        nbytes = plan.nbytes
         attached = self.process.require_attached_buffer()
         reserved = attached.reserve(nbytes)
         # Copy (gather, for derived types) into the attached buffer.
         warm = self.process.cache_warm
-        pattern = datatype.access_pattern(count)
+        pattern = plan.pattern
         if pattern.is_contiguous:
             copy_cost = cost.memcpy(nbytes, warm)
         else:
             copy_cost = cost.gather(pattern, warm)
         delay += copy_cost
         self.process.touch_caches()
-        payload = self._build_payload(sbuf, count, datatype)
+        payload = self._build_payload(sbuf, plan)
         delay += cost.send_overhead
         task.sleep(delay)
         metrics = self.world.metrics
@@ -315,53 +317,55 @@ class Comm:
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
             source = self._world_rank(source)
-        sbuf, count, datatype = self._resolve(buf, count, datatype)
+        sbuf, count, datatype, plan = self._resolve(buf, count, datatype)
         self.process.task.sleep(self._cost.call())
         cond = SimCondition(self.world.kernel, f"recv@{self.process.rank}")
-        rec = PostedRecv(source, tag, datatype.size * count, cond,
+        rec = PostedRecv(source, tag, plan.nbytes, cond,
                          context_id=self.context_id)
         self.process.inbox.post(rec)
-        return rec, sbuf, count, datatype
+        return rec, sbuf, count, datatype, plan
 
     def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
              count: int | None = None, datatype: Datatype | None = None) -> Status:
         """Blocking receive (``MPI_Recv``)."""
-        rec, sbuf, count, datatype = self._post_receive(buf, source, tag, count, datatype)
+        rec, sbuf, count, datatype, plan = self._post_receive(buf, source, tag, count, datatype)
         task = self.process.task
         while rec.message is None:
             rec.cond.wait(task, reason=f"Recv(src={source},tag={tag})")
         msg = rec.message
         if not msg.eager:
             msg.operation.grant_cts()
-        return self._finish_receive(rec, sbuf, count, datatype)
+        return self._finish_receive(rec, sbuf, datatype, plan)
 
     def Irecv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
               count: int | None = None, datatype: Datatype | None = None) -> RecvRequest:
         """Nonblocking receive (``MPI_Irecv``)."""
-        rec, sbuf, count, datatype = self._post_receive(buf, source, tag, count, datatype)
-        req = RecvRequest(self, rec, sbuf, count, datatype)
+        rec, sbuf, count, datatype, plan = self._post_receive(buf, source, tag, count, datatype)
+        req = RecvRequest(self, rec, sbuf, count, datatype, plan)
         req._grant_cts_if_needed()
         return req
 
-    def _finish_receive(self, rec: PostedRecv, sbuf: SimBuffer, count: int,
-                        datatype: Datatype) -> Status:
+    def _finish_receive(self, rec: PostedRecv, sbuf: SimBuffer,
+                        datatype: Datatype, plan: TransferPlan) -> Status:
         """Completion path shared by Recv and RecvRequest.
 
         Preconditions: ``rec.message`` is set and, for rendezvous, the
-        CTS has been granted.
+        CTS has been granted.  Works entirely from the plan snapshot
+        taken when the receive was posted, so a datatype freed while
+        the transfer was in flight still lands correctly.
         """
         msg = rec.message
         assert msg is not None
         task = self.process.task
         cost = self._cost
-        capacity = datatype.size * count
+        capacity = plan.nbytes
         if msg.nbytes > capacity:
             raise TruncationError(
                 f"message of {msg.nbytes} bytes truncated by a "
                 f"{capacity}-byte receive (source {msg.source}, tag {msg.tag})"
             )
         warm = self.process.cache_warm
-        recv_pattern = datatype.access_pattern(count)
+        recv_pattern = plan.pattern
         if msg.eager:
             assert msg.arrival_time is not None
             task.wait_until(msg.arrival_time)
@@ -383,7 +387,7 @@ class Comm:
                 # type is derived; unstage into place.
                 copy_out = cost.unstaging(recv_pattern, warm)
         task.sleep(copy_out + cost.recv_overhead)
-        self._apply_payload(msg, sbuf, datatype)
+        self._apply_payload(msg, sbuf, datatype, plan)
         world = self.world
         world.c_recv_completions.inc()
         world.c_bytes_received.inc(msg.nbytes)
@@ -402,14 +406,21 @@ class Comm:
                          tag=msg.tag, nbytes=msg.nbytes, eager=msg.eager)
         return Status(source=self._comm_rank(msg.source), tag=msg.tag, nbytes=msg.nbytes)
 
-    def _apply_payload(self, msg, sbuf: SimBuffer, datatype: Datatype) -> None:
+    def _apply_payload(self, msg, sbuf: SimBuffer, datatype: Datatype,
+                       plan: TransferPlan) -> None:
         """Functional data movement of a completed receive."""
         if msg.payload.data is None or not sbuf.materialized:
             return
-        if datatype.size == 0 or msg.nbytes == 0:
+        if plan.elem_size == 0 or msg.nbytes == 0:
             return
-        nelems = msg.nbytes // datatype.size
-        if nelems:
+        nelems = msg.nbytes // plan.elem_size
+        if nelems == plan.count:
+            # Full message: land it through the plan snapshot (works
+            # even if the datatype was freed while in flight).
+            plan.unpack_from(msg.payload.data, 0, sbuf.bytes)
+        elif nelems:
+            # Short message: fewer elements than posted; re-plan for
+            # the actual element count.
             unpack_bytes(msg.payload.data, 0, sbuf.bytes, datatype, nelems)
 
     # ------------------------------------------------------------------
@@ -446,13 +457,13 @@ class Comm:
                          datatype: Datatype | None = None) -> Status:
         """``MPI_Sendrecv_replace``: exchange in place through an
         internal temporary (whose copy is priced)."""
-        sbuf, count, datatype = self._resolve(buf, count, datatype)
-        nbytes = datatype.size * count
+        sbuf, count, datatype, plan = self._resolve(buf, count, datatype)
+        nbytes = plan.nbytes
         # Stage the outgoing data into a library temporary.
         self.process.task.sleep(self._cost.memcpy(nbytes, self.process.cache_warm))
         if sbuf.materialized:
             staged = SimBuffer.alloc(nbytes, zero=False)
-            pack_bytes(sbuf.bytes, datatype, count, staged.bytes)
+            plan.pack_into(sbuf.bytes, staged.bytes)
         else:
             staged = SimBuffer.virtual(nbytes)
         req = self.Irecv(sbuf, source, recvtag, count=count, datatype=datatype)
@@ -547,20 +558,22 @@ class Comm:
 
         allreduce(self, sendbuf, recvbuf, op)
 
-    def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+    def Gather(self, sendbuf, recvbuf, root: int = 0, *, count: int | None = None,
+               datatype: Datatype | None = None) -> None:
         from .collectives import gather
 
-        gather(self, sendbuf, recvbuf, root)
+        gather(self, sendbuf, recvbuf, root, count=count, datatype=datatype)
 
     def Allgather(self, sendbuf, recvbuf) -> None:
         from .collectives import allgather
 
         allgather(self, sendbuf, recvbuf)
 
-    def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+    def Scatter(self, sendbuf, recvbuf, root: int = 0, *, count: int | None = None,
+                datatype: Datatype | None = None) -> None:
         from .collectives import scatter
 
-        scatter(self, sendbuf, recvbuf, root)
+        scatter(self, sendbuf, recvbuf, root, count=count, datatype=datatype)
 
     def Alltoall(self, sendbuf, recvbuf) -> None:
         from .collectives import alltoall
@@ -626,7 +639,8 @@ class Comm:
         src_b = as_simbuffer(src)
         dst_b = as_simbuffer(dst)
         datatype.require_committed()
-        pattern = datatype.access_pattern(count)
+        plan = plan_for(datatype, count, self.world.metrics)
+        pattern = plan.pattern
         obs = self.world.obs
         t0 = self.process.task.now if obs.enabled else 0.0
         copy_cost = self._cost.gather(pattern, self.process.cache_warm)
@@ -638,7 +652,8 @@ class Comm:
                          rank=self.process.rank, category="copy",
                          nbytes=pattern.total_bytes)
         if src_b.materialized and dst_b.materialized:
-            pack_bytes(src_b.bytes, datatype, count, dst_b.bytes, dst_offset)
+            pack_bytes(src_b.bytes, datatype, count, dst_b.bytes, dst_offset,
+                       plan=plan)
 
     def user_scatter(self, src, src_offset: int, dst, datatype: Datatype,
                      count: int) -> None:
@@ -646,7 +661,8 @@ class Comm:
         src_b = as_simbuffer(src)
         dst_b = as_simbuffer(dst)
         datatype.require_committed()
-        pattern = datatype.access_pattern(count)
+        plan = plan_for(datatype, count, self.world.metrics)
+        pattern = plan.pattern
         obs = self.world.obs
         t0 = self.process.task.now if obs.enabled else 0.0
         copy_cost = self._cost.scatter(pattern, self.process.cache_warm)
@@ -658,7 +674,8 @@ class Comm:
                          rank=self.process.rank, category="copy",
                          nbytes=pattern.total_bytes)
         if src_b.materialized and dst_b.materialized:
-            unpack_bytes(src_b.bytes, src_offset, dst_b.bytes, datatype, count)
+            unpack_bytes(src_b.bytes, src_offset, dst_b.bytes, datatype, count,
+                         plan=plan)
 
     def flush_caches(self, nbytes: int = 50_000_000) -> None:
         """Rewrite an ``nbytes`` scratch array, evicting the caches —

@@ -24,8 +24,21 @@ from dataclasses import dataclass
 
 from ..machine.access import AccessPattern
 from ..machine.platform import Platform
+from .datatypes.plan import TransferPlan
 
 __all__ = ["CostModel"]
+
+#: Methods that price a memory-access shape accept either a bare
+#: :class:`AccessPattern` or a compiled :class:`TransferPlan` — passing
+#: the plan guarantees the cost model prices exactly the runs the byte
+#: mover will execute.
+Priceable = AccessPattern | TransferPlan
+
+
+def _pattern_of(pattern: Priceable) -> AccessPattern:
+    if isinstance(pattern, TransferPlan):
+        return pattern.pattern
+    return pattern
 
 
 @dataclass(frozen=True)
@@ -74,13 +87,13 @@ class CostModel:
     # ------------------------------------------------------------------
     # Memory
     # ------------------------------------------------------------------
-    def gather(self, pattern: AccessPattern, warm: bool) -> float:
+    def gather(self, pattern: Priceable, warm: bool) -> float:
         """User-space gather of ``pattern`` into a contiguous buffer."""
-        return self.platform.memory.gather_cost(pattern, warm).total
+        return self.platform.memory.gather_cost(_pattern_of(pattern), warm).total
 
-    def scatter(self, pattern: AccessPattern, warm: bool) -> float:
+    def scatter(self, pattern: Priceable, warm: bool) -> float:
         """User-space scatter of a contiguous buffer into ``pattern``."""
-        return self.platform.memory.scatter_cost(pattern, warm).total
+        return self.platform.memory.scatter_cost(_pattern_of(pattern), warm).total
 
     def memcpy(self, nbytes: int, warm: bool) -> float:
         """Dense copy of ``nbytes``."""
@@ -93,7 +106,7 @@ class CostModel:
     # ------------------------------------------------------------------
     # Protocol pieces
     # ------------------------------------------------------------------
-    def staging(self, pattern: AccessPattern, warm: bool) -> float:
+    def staging(self, pattern: Priceable, warm: bool) -> float:
         """MPI-internal gather for a direct derived-type send.
 
         Matches a user copy for moderate sizes (section 4.1: "sending a
@@ -101,6 +114,7 @@ class CostModel:
         up the implementation's internal-buffer bookkeeping penalty
         beyond the large-message threshold.
         """
+        pattern = _pattern_of(pattern)
         tuning = self.platform.tuning
         base = self.platform.memory.gather_cost(pattern, warm).total
         nbytes = pattern.total_bytes
@@ -121,8 +135,9 @@ class CostModel:
             return 1
         return math.ceil(nbytes / tuning.internal_chunk_bytes)
 
-    def unstaging(self, pattern: AccessPattern, warm: bool) -> float:
+    def unstaging(self, pattern: Priceable, warm: bool) -> float:
         """Receiver-side mirror of :meth:`staging` (scatter direction)."""
+        pattern = _pattern_of(pattern)
         tuning = self.platform.tuning
         base = self.platform.memory.scatter_cost(pattern, warm).total
         nbytes = pattern.total_bytes
@@ -137,15 +152,17 @@ class CostModel:
             return 0.0
         return self.memcpy(nbytes, warm)
 
-    def pack(self, pattern: AccessPattern, warm: bool, ncalls: int = 1) -> float:
+    def pack(self, pattern: Priceable, warm: bool, ncalls: int = 1) -> float:
         """``MPI_Pack`` of a whole datatype (``ncalls`` = 1) or a
         per-element pack loop (``ncalls`` = element count)."""
+        pattern = _pattern_of(pattern)
         tuning = self.platform.tuning
         move = self.platform.memory.gather_cost(pattern, warm).total / tuning.pack_bw_factor
         return move + self.platform.cpu.pack_loop_cost(ncalls)
 
-    def unpack(self, pattern: AccessPattern, warm: bool, ncalls: int = 1) -> float:
+    def unpack(self, pattern: Priceable, warm: bool, ncalls: int = 1) -> float:
         """``MPI_Unpack`` mirror of :meth:`pack`."""
+        pattern = _pattern_of(pattern)
         tuning = self.platform.tuning
         move = self.platform.memory.scatter_cost(pattern, warm).total / tuning.pack_bw_factor
         return move + self.platform.cpu.pack_loop_cost(ncalls)

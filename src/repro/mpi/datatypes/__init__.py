@@ -53,6 +53,15 @@ from .indexed import (
     make_indexed,
     make_indexed_block,
 )
+from .plan import (
+    TransferPlan,
+    clear_plan_cache,
+    compile_plan,
+    invalidate_plans,
+    plan_cache_capacity,
+    plan_cache_stats,
+    plan_for,
+)
 from .resized import ResizedType, make_resized
 from .runs import ContigRun, IrregularRuns, Run, StridedRuns, coalesce, replicate, segments_of
 from .struct import StructType, make_struct
@@ -67,6 +76,14 @@ __all__ = [
     "check_fits",
     "reconstruct",
     "describe",
+    # transfer plans
+    "TransferPlan",
+    "plan_for",
+    "compile_plan",
+    "invalidate_plans",
+    "plan_cache_stats",
+    "plan_cache_capacity",
+    "clear_plan_cache",
     # runs
     "Run",
     "ContigRun",

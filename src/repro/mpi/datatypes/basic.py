@@ -55,6 +55,11 @@ class BasicType(Datatype):
 
     combiner = "named"
 
+    # One contiguous run: cheaper to recompile than to cache (and a
+    # cached entry per (type, count) would churn the plan LRU with one
+    # entry per message size).
+    _plan_uncached = True
+
     def __init__(self, name: str, np_dtype: np.dtype | str):
         dtype = np.dtype(np_dtype)
         super().__init__(size=dtype.itemsize, lb=0, ub=dtype.itemsize, name=name)

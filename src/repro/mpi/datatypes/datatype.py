@@ -39,6 +39,13 @@ class Datatype:
 
     combiner = "named"
 
+    #: When True, :func:`repro.mpi.datatypes.plan.plan_for` compiles a
+    #: fresh plan instead of consulting the shared cache.  Basic named
+    #: types set this: their one contiguous run is cheaper to rebuild
+    #: than to look up, and caching per (type, count) would churn the
+    #: LRU with one entry per message size.
+    _plan_uncached = False
+
     def __init__(self, *, size: int, lb: int, ub: int, name: str):
         if size < 0:
             raise DatatypeError(f"{name}: negative size {size}")
@@ -131,15 +138,28 @@ class Datatype:
         if not self._committed:
             self._runs = coalesce(self._build_runs())
             self._committed = True
+            # Pre-compile the count=1 transfer plan so the first send
+            # of a committed type hits the cache warm.
+            if not self._plan_uncached:
+                from .plan import plan_for
+
+                plan_for(self, 1)
         return self
 
     # MPI-style alias
     Commit = commit
 
     def free(self) -> None:
-        """Invalidate this handle (``MPI_Type_free``)."""
+        """Invalidate this handle (``MPI_Type_free``).
+
+        Cached transfer plans of this type are evicted; transfers that
+        already hold a plan snapshot complete normally.
+        """
         self._check_not_freed()
         self._freed = True
+        from .plan import invalidate_plans
+
+        invalidate_plans(self)
 
     Free = free
 
@@ -196,6 +216,7 @@ class Datatype:
     def pack_size(self, count: int = 1) -> int:
         """Bytes needed to hold ``count`` packed elements
         (``MPI_Pack_size``, without implementation slack)."""
+        self._check_not_freed()
         if count < 0:
             raise DatatypeError(f"negative count {count}")
         return self._size * count

@@ -4,51 +4,29 @@ Operates on raw ``uint8`` numpy arrays.  Communication, ``MPI_Pack``,
 one-sided transfers, and the manual-copy benchmark scheme all funnel
 through these two functions, so datatype correctness is tested in one
 place.
+
+Since the :mod:`.plan` refactor these are thin wrappers over a
+:class:`~repro.mpi.datatypes.plan.TransferPlan` — callers that move the
+same ``(datatype, count)`` repeatedly pass their cached plan (or let
+:func:`~repro.mpi.datatypes.plan.plan_for` fetch it) and skip the
+re-flattening entirely.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import DatatypeError, PackError
+from ..errors import PackError
 from .datatype import Datatype
+from .plan import TransferPlan, _as_bytes, plan_for
 
 __all__ = ["pack_bytes", "unpack_bytes", "check_fits"]
-
-
-def _as_bytes(buf: np.ndarray, name: str) -> np.ndarray:
-    if not isinstance(buf, np.ndarray):
-        raise TypeError(f"{name} must be a numpy array, got {type(buf).__name__}")
-    if buf.dtype != np.uint8:
-        if not buf.flags.c_contiguous:
-            raise DatatypeError(f"{name} must be C-contiguous to be reinterpreted as bytes")
-        buf = buf.view(np.uint8).reshape(-1)
-    if buf.ndim != 1:
-        # reshape(-1) on a non-contiguous array returns a *copy*: reads
-        # would silently see stale data and writes would be lost.
-        if not buf.flags.c_contiguous:
-            raise DatatypeError(f"{name} must be C-contiguous to be flattened to bytes")
-        buf = buf.reshape(-1)
-    return buf
 
 
 def check_fits(dtype: Datatype, count: int, buf_bytes: int, name: str) -> None:
     """Validate that ``count`` elements of ``dtype`` fit inside a buffer
     of ``buf_bytes`` bytes (checking true bounds, not just size)."""
-    runs = dtype.flatten(count)
-    if not runs:
-        return
-    lo = min(r.min_offset for r in runs)
-    hi = max(r.max_end for r in runs)
-    if lo < 0:
-        raise DatatypeError(
-            f"{name}: datatype {dtype.name!r} x{count} reaches {-lo} bytes before buffer start"
-        )
-    if hi > buf_bytes:
-        raise DatatypeError(
-            f"{name}: datatype {dtype.name!r} x{count} reaches byte {hi} "
-            f"but the buffer holds only {buf_bytes}"
-        )
+    plan_for(dtype, count).check_fits(buf_bytes, name)
 
 
 def pack_bytes(
@@ -57,6 +35,8 @@ def pack_bytes(
     count: int,
     dst: np.ndarray,
     dst_offset: int = 0,
+    *,
+    plan: TransferPlan | None = None,
 ) -> int:
     """Gather ``count`` elements of ``dtype`` from ``src`` into the
     contiguous region of ``dst`` starting at ``dst_offset``.
@@ -65,17 +45,16 @@ def pack_bytes(
     """
     src_b = _as_bytes(src, "src")
     dst_b = _as_bytes(dst, "dst")
-    total = dtype.pack_size(count)
+    if plan is None:
+        plan = plan_for(dtype, count)
+    total = plan.nbytes
     if dst_offset < 0 or dst_offset + total > dst_b.size:
         raise PackError(
             f"pack of {total} bytes at offset {dst_offset} overflows "
             f"{dst_b.size}-byte destination"
         )
-    check_fits(dtype, count, src_b.size, "pack")
-    written = dst_offset
-    for run in dtype.flatten(count):
-        written += run.gather(src_b, dst_b, written)
-    return written - dst_offset
+    plan.check_fits(src_b.size, "pack")
+    return plan.gather(src_b, dst_b, dst_offset)
 
 
 def unpack_bytes(
@@ -84,6 +63,8 @@ def unpack_bytes(
     dst: np.ndarray,
     dtype: Datatype,
     count: int,
+    *,
+    plan: TransferPlan | None = None,
 ) -> int:
     """Scatter packed bytes from ``src`` (starting at ``src_offset``)
     into ``count`` elements of ``dtype`` inside ``dst``.
@@ -92,14 +73,13 @@ def unpack_bytes(
     """
     src_b = _as_bytes(src, "src")
     dst_b = _as_bytes(dst, "dst")
-    total = dtype.pack_size(count)
+    if plan is None:
+        plan = plan_for(dtype, count)
+    total = plan.nbytes
     if src_offset < 0 or src_offset + total > src_b.size:
         raise PackError(
             f"unpack of {total} bytes at offset {src_offset} overruns "
             f"{src_b.size}-byte source"
         )
-    check_fits(dtype, count, dst_b.size, "unpack")
-    consumed = src_offset
-    for run in dtype.flatten(count):
-        consumed += run.scatter(src_b, consumed, dst_b)
-    return consumed - src_offset
+    plan.check_fits(dst_b.size, "unpack")
+    return plan.scatter(src_b, src_offset, dst_b)

@@ -183,7 +183,7 @@ class IrregularRuns:
     must be non-overlapping but need not be sorted.
     """
 
-    __slots__ = ("offsets", "lengths", "_total")
+    __slots__ = ("offsets", "lengths", "_total", "_dst", "_classes")
 
     def __init__(self, offsets: Sequence[int] | np.ndarray, lengths: Sequence[int] | np.ndarray):
         self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
@@ -195,6 +195,10 @@ class IrregularRuns:
         if np.any(self.lengths <= 0):
             raise ValueError("all block lengths must be positive")
         self._total = int(self.lengths.sum())
+        # Pack-buffer offset of each block: exclusive prefix sum, fixed
+        # by the layout, so computed once here instead of per transfer.
+        self._dst = np.concatenate(([0], np.cumsum(self.lengths[:-1])))
+        self._classes: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -230,25 +234,41 @@ class IrregularRuns:
             yield (off, length)
 
     def _dst_offsets(self) -> np.ndarray:
-        """Pack-buffer offsets of each block (exclusive prefix sum)."""
-        return np.concatenate(([0], np.cumsum(self.lengths[:-1])))
+        """Pack-buffer offsets of each block (exclusive prefix sum,
+        precomputed at construction)."""
+        return self._dst
+
+    def _length_classes(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Blocks grouped by distinct length, computed once per run.
+
+        Each entry is ``(span, src_offsets, dst_offsets)`` — the
+        ``arange`` over the block length plus the per-class offset rows.
+        Only the O(nblocks) index rows are cached; the broadcast
+        (nblocks, length) matrices are still formed per transfer by the
+        fancy-indexing expression, keeping memory at payload scale.
+        """
+        if self._classes is None:
+            classes = []
+            for length in np.unique(self.lengths):
+                mask = self.lengths == length
+                classes.append((
+                    np.arange(length, dtype=np.int64),
+                    self.offsets[mask],
+                    self._dst[mask],
+                ))
+            self._classes = classes
+        return self._classes
 
     def gather(self, src: np.ndarray, dst: np.ndarray, dst_offset: int) -> int:
-        dsts = self._dst_offsets() + dst_offset
         # Vectorize per distinct block length: one fancy-indexing gather
         # per length class instead of a Python loop per block.
-        for length in np.unique(self.lengths):
-            mask = self.lengths == length
-            span = np.arange(length, dtype=np.int64)
-            dst[dsts[mask][:, None] + span] = src[self.offsets[mask][:, None] + span]
+        for span, offs, dsts in self._length_classes():
+            dst[(dsts + dst_offset)[:, None] + span] = src[offs[:, None] + span]
         return self._total
 
     def scatter(self, src: np.ndarray, src_offset: int, dst: np.ndarray) -> int:
-        srcs = self._dst_offsets() + src_offset
-        for length in np.unique(self.lengths):
-            mask = self.lengths == length
-            span = np.arange(length, dtype=np.int64)
-            dst[self.offsets[mask][:, None] + span] = src[srcs[mask][:, None] + span]
+        for span, offs, dsts in self._length_classes():
+            dst[offs[:, None] + span] = src[(dsts + src_offset)[:, None] + span]
         return self._total
 
     def access_pattern(self) -> AccessPattern:

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from .buffers import as_simbuffer
 from .datatypes import Datatype, pack_bytes, unpack_bytes
+from .datatypes.plan import TransferPlan, plan_for
 from .errors import PackError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,11 +30,12 @@ def pack_size(comm: "Comm", incount: int, datatype: Datatype) -> int:
     """Upper bound on packed bytes (``MPI_Pack_size``)."""
     if incount < 0:
         raise PackError(f"negative incount {incount}")
-    datatype._check_not_freed()
-    return datatype.size * incount
+    # Delegates to the datatype so the freed-handle guard lives in one
+    # place (Datatype.pack_size checks it too).
+    return datatype.pack_size(incount)
 
 
-def _charge_pack(comm: "Comm", datatype: Datatype, incount: int, ncalls: int,
+def _charge_pack(comm: "Comm", plan: TransferPlan, ncalls: int,
                  scatter: bool) -> None:
     cost = comm.world.cost
     task = comm.process.task
@@ -41,7 +43,7 @@ def _charge_pack(comm: "Comm", datatype: Datatype, incount: int, ncalls: int,
     t0 = task.now if obs.enabled else 0.0
     call_cost = cost.call()
     task.sleep(call_cost)
-    pattern = datatype.access_pattern(incount)
+    pattern = plan.pattern
     if scatter:
         move_cost = cost.unpack(pattern, comm.process.cache_warm, ncalls=ncalls)
     else:
@@ -49,7 +51,7 @@ def _charge_pack(comm: "Comm", datatype: Datatype, incount: int, ncalls: int,
     task.sleep(move_cost)
     comm.process.touch_caches()
     kind = "unpack" if scatter else "pack"
-    nbytes = datatype.size * incount
+    nbytes = plan.nbytes
     metrics = comm.world.metrics
     metrics.counter(f"pack.{kind}_calls").inc(ncalls)
     metrics.counter(f"pack.{kind}_bytes").inc(nbytes)
@@ -67,15 +69,16 @@ def pack(comm: "Comm", inbuf, incount: int, datatype: Datatype, outbuf,
     datatype.require_committed()
     src = as_simbuffer(inbuf)
     dst = as_simbuffer(outbuf)
-    nbytes = datatype.size * incount
+    plan = plan_for(datatype, incount, comm.world.metrics)
+    nbytes = plan.nbytes
     if position < 0 or position + nbytes > dst.nbytes:
         raise PackError(
             f"pack of {nbytes} bytes at position {position} overflows "
             f"{dst.nbytes}-byte pack buffer"
         )
-    _charge_pack(comm, datatype, incount, ncalls=1, scatter=False)
+    _charge_pack(comm, plan, ncalls=1, scatter=False)
     if src.materialized and dst.materialized and incount:
-        pack_bytes(src.bytes, datatype, incount, dst.bytes, position)
+        pack_bytes(src.bytes, datatype, incount, dst.bytes, position, plan=plan)
     comm.world.trace("pack", rank=comm.rank, nbytes=nbytes, ncalls=1)
     return position + nbytes
 
@@ -87,15 +90,16 @@ def unpack(comm: "Comm", inbuf, position: int, outbuf, outcount: int,
     datatype.require_committed()
     src = as_simbuffer(inbuf)
     dst = as_simbuffer(outbuf)
-    nbytes = datatype.size * outcount
+    plan = plan_for(datatype, outcount, comm.world.metrics)
+    nbytes = plan.nbytes
     if position < 0 or position + nbytes > src.nbytes:
         raise PackError(
             f"unpack of {nbytes} bytes at position {position} overruns "
             f"{src.nbytes}-byte pack buffer"
         )
-    _charge_pack(comm, datatype, outcount, ncalls=1, scatter=True)
+    _charge_pack(comm, plan, ncalls=1, scatter=True)
     if src.materialized and dst.materialized and outcount:
-        unpack_bytes(src.bytes, position, dst.bytes, datatype, outcount)
+        unpack_bytes(src.bytes, position, dst.bytes, datatype, outcount, plan=plan)
     comm.world.trace("unpack", rank=comm.rank, nbytes=nbytes, ncalls=1)
     return position + nbytes
 
@@ -111,16 +115,17 @@ def pack_elements_bulk(comm: "Comm", inbuf, incount: int, datatype: Datatype,
     datatype.require_committed()
     src = as_simbuffer(inbuf)
     dst = as_simbuffer(outbuf)
-    nbytes = datatype.size * incount
+    plan = plan_for(datatype, incount, comm.world.metrics)
+    nbytes = plan.nbytes
     if position < 0 or position + nbytes > dst.nbytes:
         raise PackError(
             f"bulk pack of {nbytes} bytes at position {position} overflows "
             f"{dst.nbytes}-byte pack buffer"
         )
-    ncalls = datatype.access_pattern(incount).nblocks
-    _charge_pack(comm, datatype, incount, ncalls=ncalls, scatter=False)
+    ncalls = plan.nblocks
+    _charge_pack(comm, plan, ncalls=ncalls, scatter=False)
     if src.materialized and dst.materialized and incount:
-        pack_bytes(src.bytes, datatype, incount, dst.bytes, position)
+        pack_bytes(src.bytes, datatype, incount, dst.bytes, position, plan=plan)
     comm.world.trace("pack", rank=comm.rank, nbytes=nbytes, ncalls=ncalls)
     return position + nbytes
 
@@ -131,15 +136,16 @@ def unpack_elements_bulk(comm: "Comm", inbuf, position: int, outbuf,
     datatype.require_committed()
     src = as_simbuffer(inbuf)
     dst = as_simbuffer(outbuf)
-    nbytes = datatype.size * outcount
+    plan = plan_for(datatype, outcount, comm.world.metrics)
+    nbytes = plan.nbytes
     if position < 0 or position + nbytes > src.nbytes:
         raise PackError(
             f"bulk unpack of {nbytes} bytes at position {position} overruns "
             f"{src.nbytes}-byte pack buffer"
         )
-    ncalls = datatype.access_pattern(outcount).nblocks
-    _charge_pack(comm, datatype, outcount, ncalls=ncalls, scatter=True)
+    ncalls = plan.nblocks
+    _charge_pack(comm, plan, ncalls=ncalls, scatter=True)
     if src.materialized and dst.materialized and outcount:
-        unpack_bytes(src.bytes, position, dst.bytes, datatype, outcount)
+        unpack_bytes(src.bytes, position, dst.bytes, datatype, outcount, plan=plan)
     comm.world.trace("unpack", rank=comm.rank, nbytes=nbytes, ncalls=ncalls)
     return position + nbytes

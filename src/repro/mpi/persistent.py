@@ -65,8 +65,9 @@ class PersistentSendRequest(_PersistentBase):
         super().__init__()
         self._comm = comm
         self._args = (buf, dest, tag, count, datatype)
-        # Validate the arguments eagerly (init time, outside the loop).
-        buf_, count_, datatype_ = comm._resolve(buf, count, datatype)
+        # Validate the arguments eagerly (init time, outside the loop);
+        # this also warms the plan cache for the Start() iterations.
+        comm._resolve(buf, count, datatype)
         comm._check_peer(dest, "destination")
 
     def Start(self) -> "PersistentSendRequest":

@@ -61,12 +61,15 @@ class RecvRequest(Request):
     progress occurring in the blocking call.
     """
 
-    def __init__(self, comm: "Comm", rec: PostedRecv, buf, count: int, datatype):
+    def __init__(self, comm: "Comm", rec: PostedRecv, buf, count: int, datatype, plan):
         self._comm = comm
         self._rec = rec
         self._buf = buf
         self._count = count
         self._datatype = datatype
+        # Plan snapshot taken at post time: completion never touches
+        # the datatype again, so Free() while in flight is harmless.
+        self._plan = plan
         self._cts_granted = False
         self._status: Status | None = None
         self._done = False
@@ -88,7 +91,7 @@ class RecvRequest(Request):
         while rec.message is None:
             rec.cond.wait(task, reason="Irecv.wait(match)")
         self._grant_cts_if_needed()
-        self._status = comm._finish_receive(rec, self._buf, self._count, self._datatype)
+        self._status = comm._finish_receive(rec, self._buf, self._datatype, self._plan)
         self._done = True
         return self._status
 
@@ -107,7 +110,7 @@ class RecvRequest(Request):
         if not ready:
             return False, None
         self._status = self._comm._finish_receive(
-            self._rec, self._buf, self._count, self._datatype
+            self._rec, self._buf, self._datatype, self._plan
         )
         self._done = True
         return True, self._status

@@ -18,8 +18,8 @@ import numpy as np
 
 from ..sim.sync import SimBarrier
 from .buffers import SimBuffer, as_simbuffer
-from .datatypes import BYTE, Datatype, pack_bytes, unpack_bytes
-from .datatypes.engine import check_fits
+from .datatypes import BYTE, Datatype
+from .datatypes.plan import TransferPlan, plan_for
 from .errors import WindowError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,14 +103,15 @@ class Win:
         return buf
 
     @staticmethod
-    def _check_target_region(buf: SimBuffer, disp: int, dtype: Datatype,
-                             count: int, what: str) -> None:
+    def _check_target_region(buf: SimBuffer, disp: int, plan: TransferPlan,
+                             what: str) -> None:
         """Validate the target region at *call* time.
 
         Python slicing made a negative displacement silently wrap to the
         end of the window, and out-of-range regions only surfaced at the
         closing fence (and only for materialized windows); bounds are
-        known from the window size alone, so check eagerly.
+        known from the window size and the plan's precomputed footprint
+        alone, so check eagerly — O(1), no flattening.
         """
         if disp < 0:
             raise WindowError(f"{what}: negative target displacement {disp}")
@@ -118,7 +119,7 @@ class Win:
             raise WindowError(
                 f"{what}: target displacement {disp} beyond {buf.nbytes}-byte window"
             )
-        check_fits(dtype, count, buf.nbytes - disp, f"{what} target")
+        plan.check_fits(buf.nbytes - disp, f"{what} target")
 
     # ------------------------------------------------------------------
     def Put(
@@ -142,10 +143,10 @@ class Win:
         comm = self.comm
         cost = comm.world.cost
         task = comm.process.task
-        origin_buf, origin_count, origin_datatype = comm._resolve(
+        origin_buf, origin_count, origin_datatype, origin_plan = comm._resolve(
             origin, origin_count, origin_datatype
         )
-        nbytes = origin_datatype.size * origin_count
+        nbytes = origin_plan.nbytes
         if target_datatype is None:
             target_datatype = BYTE
             target_count = nbytes
@@ -155,16 +156,16 @@ class Win:
             else:
                 target_count = nbytes // target_datatype.size
         target_datatype.require_committed()
-        if target_datatype.size * target_count != nbytes:
+        target_plan = plan_for(target_datatype, target_count, comm.world.metrics)
+        if target_plan.nbytes != nbytes:
             raise WindowError(
                 f"Put: origin carries {nbytes} bytes but target spec holds "
-                f"{target_datatype.size * target_count}"
+                f"{target_plan.nbytes}"
             )
         target_buf = self._target_buffer(target_rank, "Put")
-        self._check_target_region(target_buf, target_disp, target_datatype,
-                                  target_count, "Put")
+        self._check_target_region(target_buf, target_disp, target_plan, "Put")
         task.sleep(cost.call())
-        origin_pattern = origin_datatype.access_pattern(origin_count)
+        origin_pattern = origin_plan.pattern
         if not origin_pattern.is_contiguous:
             t0 = task.now
             staging_cost = cost.staging(origin_pattern, comm.process.cache_warm)
@@ -175,18 +176,21 @@ class Win:
                 comm.world.obs.complete(t0, t0 + staging_cost, "rma.staging",
                                         rank=comm.process.rank, category="staging",
                                         nbytes=nbytes,
-                                        chunks=cost.staging_chunks(nbytes))
-        payload = comm._build_payload(origin_buf, origin_count, origin_datatype)
+                                        chunks=cost.staging_chunks(nbytes),
+                                        plan_reuse=origin_plan.reuses)
+        payload = comm._build_payload(origin_buf, origin_plan)
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
 
-        tdt, tcount, tdisp = target_datatype, target_count, target_disp
+        tplan, tcount, tdisp = target_plan, target_count, target_disp
 
         def apply() -> None:
+            # The plan snapshot keeps the queued op valid even if the
+            # target datatype is freed before the closing fence.
             if payload.data is None or not target_buf.materialized or tcount == 0:
                 return
             window = target_buf.bytes[tdisp:]
-            check_fits(tdt, tcount, window.size, "Put target")
-            unpack_bytes(payload.data, 0, window, tdt, tcount)
+            tplan.check_fits(window.size, "Put target")
+            tplan.unpack_from(payload.data, 0, window)
 
         self._pending.append(_QueuedOp("put", nbytes, wire, apply))
         comm.world.metrics.counter("rma.ops").inc()
@@ -210,43 +214,43 @@ class Win:
         comm = self.comm
         cost = comm.world.cost
         task = comm.process.task
-        origin_buf, origin_count, origin_datatype = comm._resolve(
+        origin_buf, origin_count, origin_datatype, origin_plan = comm._resolve(
             origin, origin_count, origin_datatype
         )
-        nbytes = origin_datatype.size * origin_count
+        nbytes = origin_plan.nbytes
         if target_datatype is None:
             target_datatype = BYTE
             target_count = nbytes
         elif target_count is None:
             target_count = nbytes // target_datatype.size if target_datatype.size else 0
         target_datatype.require_committed()
-        if target_datatype.size * target_count != nbytes:
+        target_plan = plan_for(target_datatype, target_count, comm.world.metrics)
+        if target_plan.nbytes != nbytes:
             raise WindowError(
                 f"Get: origin holds {nbytes} bytes but target spec carries "
-                f"{target_datatype.size * target_count}"
+                f"{target_plan.nbytes}"
             )
         target_buf = self._target_buffer(target_rank, "Get")
-        self._check_target_region(target_buf, target_disp, target_datatype,
-                                  target_count, "Get")
+        self._check_target_region(target_buf, target_disp, target_plan, "Get")
         task.sleep(cost.call())
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
-        origin_pattern = origin_datatype.access_pattern(origin_count)
+        origin_pattern = origin_plan.pattern
         scatter_cost = (
             0.0
             if origin_pattern.is_contiguous
             else cost.unstaging(origin_pattern, comm.process.cache_warm)
         )
-        tdt, tcount, tdisp = target_datatype, target_count, target_disp
-        odt, ocount = origin_datatype, origin_count
+        tplan, tcount, tdisp = target_plan, target_count, target_disp
+        oplan = origin_plan
 
         def apply() -> None:
             if not target_buf.materialized or not origin_buf.materialized or tcount == 0:
                 return
             window = target_buf.bytes[tdisp:]
-            check_fits(tdt, tcount, window.size, "Get target")
+            tplan.check_fits(window.size, "Get target")
             staged = np.empty(nbytes, dtype=np.uint8)
-            pack_bytes(window, tdt, tcount, staged)
-            unpack_bytes(staged, 0, origin_buf.bytes, odt, ocount)
+            tplan.pack_into(window, staged)
+            oplan.unpack_from(staged, 0, origin_buf.bytes)
 
         self._pending.append(_QueuedOp("get", nbytes, wire + scatter_cost, apply))
         comm.world.metrics.counter("rma.ops").inc()

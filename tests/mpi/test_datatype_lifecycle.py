@@ -116,6 +116,15 @@ def test_pack_size():
         v.pack_size(-1)
 
 
+def test_pack_size_freed_guard():
+    """Regression: pack_size on a freed handle must raise like every
+    other operation (it used to silently use the stale size)."""
+    v = make_vector(4, 1, 2, DOUBLE).commit()
+    v.free()
+    with pytest.raises(FreedDatatypeError):
+        v.pack_size(1)
+
+
 def test_negative_flatten_count_rejected():
     v = make_vector(4, 1, 2, DOUBLE).commit()
     with pytest.raises(DatatypeError):
