@@ -1,0 +1,135 @@
+"""``repro explain``: per-scheme critical-path verdicts and what-ifs.
+
+Glue between the observability layer's causal profiler
+(:mod:`repro.obs.critical`) and the benchmark harness: run one traced
+ping-pong per scheme, extract the critical path, name the bounding
+resource, and price the built-in what-if perturbations — optionally
+validating each prediction against an actual re-run on the transformed
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.layout import strided_for_bytes
+from ..core.pingpong import run_pingpong
+from ..core.schemes import PAPER_ORDER
+from ..core.timing import TimingPolicy
+from ..machine.platform import Platform
+from ..machine.registry import get_platform
+from ..obs.critical import (
+    PERTURBATIONS,
+    CriticalPath,
+    Perturbation,
+    extract_critical_path,
+)
+
+__all__ = ["WhatIf", "Explanation", "explain_scheme", "explain_schemes"]
+
+
+@dataclass(frozen=True)
+class WhatIf:
+    """One priced perturbation.  ``actual``/``error`` are filled only
+    when the prediction was validated against a re-run."""
+
+    key: str
+    label: str
+    predicted: float
+    speedup: float
+    actual: float | None = None
+    error: float | None = None
+
+
+@dataclass
+class Explanation:
+    """The causal verdict for one scheme x platform x size cell."""
+
+    scheme: str
+    platform: str
+    message_bytes: int
+    total: float
+    path: CriticalPath
+    bound_by: str
+    #: On-path seconds per resource (all resources present).
+    shares: dict[str, float]
+    whatifs: list[WhatIf] = field(default_factory=list)
+
+    @property
+    def validated(self) -> bool:
+        return any(w.actual is not None for w in self.whatifs)
+
+
+def _resolve(platform: Platform | str) -> Platform:
+    return platform if isinstance(platform, Platform) else get_platform(platform)
+
+
+def explain_scheme(
+    scheme: str,
+    platform: Platform | str = "skx-impi",
+    message_bytes: int = 1_000_000,
+    *,
+    iterations: int = 1,
+    perturbations: dict[str, Perturbation] | None = None,
+    validate: bool = False,
+) -> Explanation:
+    """Trace one ping-pong, extract its critical path, and price the
+    what-if catalogue.  ``validate=True`` re-runs the benchmark on each
+    perturbed platform and records prediction error."""
+    plat = _resolve(platform)
+    layout = strided_for_bytes(message_bytes)
+    policy = TimingPolicy(iterations=iterations, flush=False)
+    result = run_pingpong(
+        scheme, layout, plat, policy=policy, materialize=False, trace=True
+    )
+    path = extract_critical_path(result.tracer, result.virtual_time)
+    whatifs = []
+    for pert in (perturbations if perturbations is not None else PERTURBATIONS).values():
+        predicted = path.predict(pert)
+        actual = error = None
+        if validate:
+            rerun = run_pingpong(
+                scheme,
+                layout,
+                pert.transform(plat).with_name(f"{plat.name}+{pert.key}"),
+                policy=policy,
+                materialize=False,
+            )
+            actual = rerun.virtual_time
+            error = abs(predicted - actual) / actual if actual else 0.0
+        whatifs.append(
+            WhatIf(
+                key=pert.key,
+                label=pert.label,
+                predicted=predicted,
+                speedup=result.virtual_time / predicted if predicted else float("inf"),
+                actual=actual,
+                error=error,
+            )
+        )
+    return Explanation(
+        scheme=scheme,
+        platform=plat.name,
+        message_bytes=message_bytes,
+        total=result.virtual_time,
+        path=path,
+        bound_by=path.bounding_resource(),
+        shares=path.by_resource(),
+        whatifs=whatifs,
+    )
+
+
+def explain_schemes(
+    platform: Platform | str = "skx-impi",
+    message_bytes: int = 1_000_000,
+    *,
+    schemes: tuple[str, ...] | None = None,
+    validate: bool = False,
+) -> dict[str, Explanation]:
+    """One :class:`Explanation` per scheme, in paper order."""
+    return {
+        key: explain_scheme(
+            key, platform, message_bytes, validate=validate
+        )
+        for key in (schemes if schemes is not None else PAPER_ORDER)
+    }

@@ -16,9 +16,21 @@ payload landed.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..sim.trace import TraceEvent, Tracer
 
-__all__ = ["render_timeline", "render_attribution", "event_label"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.critical import CriticalPath
+    from .explain import Explanation
+
+__all__ = [
+    "render_timeline",
+    "render_attribution",
+    "render_critical_path",
+    "render_explanation",
+    "event_label",
+]
 
 #: categories shown by default (protocol-level events)
 _DEFAULT_CATEGORIES = (
@@ -130,4 +142,67 @@ def render_attribution(phases: dict[str, float], total: float) -> str:
         lines.append(f"{name:<12} {t * 1e6:>12.3f} {share:>7.1f}%")
     lines.append("-" * 34)
     lines.append(f"{'total':<12} {total * 1e6:>12.3f} {100.0:>7.1f}%")
+    return "\n".join(lines)
+
+
+def render_critical_path(path: "CriticalPath", *, max_segments: int = 40) -> str:
+    """The critical path as a table: one row per segment, in time order.
+
+    Adjacent same-resource segments are coalesced for readability; the
+    footer restates the exact-partition property (rows tile the total).
+    """
+    if not path.segments:
+        return "(empty critical path)"
+    # Coalesce adjacent segments sharing resource+task for display.
+    rows: list[list] = []
+    for seg in path.segments:
+        if rows and rows[-1][2] == seg.resource and rows[-1][3] == seg.task:
+            rows[-1][1] = seg.end
+            rows[-1][4].add(seg.detail)
+        else:
+            rows.append([seg.begin, seg.end, seg.resource, seg.task, {seg.detail}])
+    truncated = len(rows) > max_segments
+    shown = rows[:max_segments]
+    lines = [
+        f"{'begin (us)':>12} {'end (us)':>12} {'dur (us)':>10} {'resource':<9} "
+        f"{'where':<8} detail"
+    ]
+    lines.append("-" * 72)
+    for begin, end, resource, task, details in shown:
+        where = task if task is not None else "-"
+        lines.append(
+            f"{begin * 1e6:>12.3f} {end * 1e6:>12.3f} {(end - begin) * 1e6:>10.3f} "
+            f"{resource:<9} {where:<8} {', '.join(sorted(details))}"
+        )
+    if truncated:
+        lines.append(f"... ({len(rows)} coalesced segments total, first {max_segments} shown)")
+    lines.append("-" * 72)
+    lines.append(
+        f"{len(path.segments)} segments tile [0, {path.total * 1e6:.3f}] us exactly"
+    )
+    return "\n".join(lines)
+
+
+def render_explanation(explanation: "Explanation") -> str:
+    """One scheme's verdict: bound-by, resource shares, what-ifs."""
+    lines = [
+        f"{explanation.scheme} @ {explanation.message_bytes:,} B on "
+        f"{explanation.platform}: total {explanation.total * 1e6:.3f} us, "
+        f"bound by **{explanation.bound_by}**"
+    ]
+    shares = [(r, t) for r, t in explanation.shares.items() if t > 0.0]
+    shares.sort(key=lambda item: item[1], reverse=True)
+    for resource, t in shares:
+        pct = t / explanation.total * 100 if explanation.total else 0.0
+        lines.append(f"  {resource:<9} {t * 1e6:>12.3f} us  {pct:>5.1f}%")
+    if explanation.whatifs:
+        lines.append("  what-if:")
+        for w in explanation.whatifs:
+            line = (
+                f"    {w.label:<28} -> {w.predicted * 1e6:>12.3f} us "
+                f"({w.speedup:.2f}x)"
+            )
+            if w.actual is not None:
+                line += f"  [re-run {w.actual * 1e6:.3f} us, error {w.error:.2%}]"
+            lines.append(line)
     return "\n".join(lines)

@@ -9,6 +9,8 @@ figure               regenerate one paper figure (fig1..fig4)
 experiment           run an in-text experiment or ablation by id
 claims               run the claim checks against a fresh sweep
 report               regenerate EXPERIMENTS.md (all figures + experiments)
+trace                print the protocol timeline of one ping-pong
+explain              critical-path verdicts: bounding resource + what-ifs
 """
 
 from __future__ import annotations
@@ -132,12 +134,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
             receiver.teardown_receiver(comm, ctx)
 
     job = _rm(main, 2, _gp(args.platform), trace=True)
+    critical = None
+    if args.critical:
+        from .obs import extract_critical_path
+
+        critical = extract_critical_path(job.tracer, job.virtual_time)
     if args.chrome:
         # Raw Chrome trace JSON on stdout, for piping into a file or
         # straight into Perfetto.  --json still writes its file.
-        print(json.dumps(chrome_trace(job.tracer), indent=1, sort_keys=True))
+        print(json.dumps(chrome_trace(job.tracer, critical_path=critical),
+                         indent=1, sort_keys=True))
         if args.json:
-            write_chrome_trace(job.tracer, args.json)
+            write_chrome_trace(job.tracer, args.json, critical_path=critical)
         return 0
     print(f"one {args.scheme} ping-pong of {layout.message_bytes:,} B on {args.platform}:")
     print()
@@ -147,9 +155,45 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(render_attribution(attribute_phases(job.tracer, job.virtual_time),
                              job.virtual_time))
+    if critical is not None:
+        from .analysis.timeline import render_critical_path
+
+        print()
+        print("critical path:")
+        print()
+        print(render_critical_path(critical))
     if args.json:
-        write_chrome_trace(job.tracer, args.json)
+        write_chrome_trace(job.tracer, args.json, critical_path=critical)
         print(f"\nwrote Chrome trace to {args.json} (load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis.explain import explain_scheme
+    from .analysis.timeline import render_critical_path, render_explanation
+
+    schemes = tuple(args.schemes) if args.schemes else PAPER_ORDER
+    print(
+        f"critical-path explanation: {args.bytes:,} B ping-pong on {args.platform}"
+        + (" (validating what-ifs against re-runs)" if args.validate else "")
+    )
+    print()
+    worst_error = 0.0
+    for key in schemes:
+        explanation = explain_scheme(
+            key, args.platform, args.bytes, validate=args.validate
+        )
+        print(render_explanation(explanation))
+        if args.path:
+            print()
+            print(render_critical_path(explanation.path))
+        print()
+        for w in explanation.whatifs:
+            if w.error is not None:
+                worst_error = max(worst_error, w.error)
+    if args.validate:
+        print(f"worst what-if prediction error: {worst_error:.2%}")
+        return 0 if worst_error <= 0.05 else 1
     return 0
 
 
@@ -238,7 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the Chrome trace_event JSON to PATH")
     p.add_argument("--chrome", action="store_true",
                    help="print only the raw Chrome trace JSON (for piping)")
+    p.add_argument("--critical", action="store_true",
+                   help="extract the critical path (table + highlighted trace lane)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="name the bounding resource on each scheme's critical path",
+    )
+    p.add_argument("--platform", default="skx-impi", choices=list_platforms())
+    p.add_argument("--bytes", type=int, default=1_000_000)
+    p.add_argument("--schemes", nargs="*", choices=list(PAPER_ORDER), default=None)
+    p.add_argument("--path", action="store_true",
+                   help="also print the full critical-path segment table")
+    p.add_argument("--validate", action="store_true",
+                   help="re-run each what-if on the perturbed platform and report error")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("compare", help="compare two saved sweep JSON files")
     p.add_argument("sweep_a")

@@ -60,10 +60,17 @@ class Inbox:
     the hook behind the ``match.*`` metrics.
     """
 
-    def __init__(self, on_match=None) -> None:
+    def __init__(self, on_match=None, on_depth=None) -> None:
         self.unexpected: deque["TransitMessage"] = deque()
         self.posted: deque[PostedRecv] = deque()
         self.on_match = on_match
+        #: Fires ``(unexpected_depth, posted_depth)`` after every queue
+        #: mutation — the hook behind the Chrome counter events.
+        self.on_depth = on_depth
+
+    def _depth_changed(self) -> None:
+        if self.on_depth is not None:
+            self.on_depth(len(self.unexpected), len(self.posted))
 
     # ------------------------------------------------------------------
     def on_message(self, message: "TransitMessage") -> None:
@@ -73,10 +80,13 @@ class Inbox:
             if rec.accepts(message):
                 del self.posted[i]
                 rec.message = message
+                self._depth_changed()
                 self._progress(message)
-                rec.cond.notify_all()
+                op = getattr(message, "operation", None)
+                rec.cond.notify_all(cause=op.delivery_cause if op is not None else None)
                 return
         self.unexpected.append(message)
+        self._depth_changed()
 
     def post(self, rec: PostedRecv) -> None:
         """Receive path: match the earliest compatible unexpected
@@ -86,9 +96,11 @@ class Inbox:
             if rec.accepts(message):
                 del self.unexpected[i]
                 rec.message = message
+                self._depth_changed()
                 self._progress(message)
                 return
         self.posted.append(rec)
+        self._depth_changed()
 
     def _progress(self, message: "TransitMessage") -> None:
         """The progress engine's part of a match: a rendezvous RTS gets

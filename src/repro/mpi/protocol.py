@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..sim.sync import SimCondition
+from ..sim.trace import WakeCause
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import Process, World
@@ -64,7 +65,7 @@ class SendHandle:
         self.complete_time: float | None = None
         self.cond = SimCondition(world.kernel, f"send-done:{label}")
 
-    def _complete_at(self, time: float) -> None:
+    def _complete_at(self, time: float, cause: WakeCause | None = None) -> None:
         """Schedule completion at virtual ``time`` (kernel or task ctx).
 
         A completion that is already due fires synchronously so that,
@@ -72,14 +73,14 @@ class SendHandle:
         really is reusable the moment the call returns."""
         now = self._world.kernel.now
         if time <= now:
-            self._finish(now)
+            self._finish(now, cause)
         else:
-            self._world.kernel.call_later(time - now, self._finish, time)
+            self._world.kernel.call_later(time - now, self._finish, time, cause)
 
-    def _finish(self, time: float) -> None:
+    def _finish(self, time: float, cause: WakeCause | None = None) -> None:
         self.done = True
         self.complete_time = time
-        self.cond.notify_all()
+        self.cond.notify_all(cause=cause)
 
     def wait(self, task) -> None:
         """Block the calling task until the send completes."""
@@ -172,6 +173,14 @@ class SendOperation:
         #: Open ``proto.rendezvous`` span (traced runs only); closed in
         #: ``_data_landed`` when the payload reaches the user buffer.
         self._span = None
+        #: Wait-for provenance (traced runs only): the task/time where
+        #: the current cause chain entered the protocol, the contiguous
+        #: (begin, end, resource) hops accumulated since, and the cause
+        #: attached to the message's arrival at the matching engine.
+        self._origin: tuple[str, float] | None = None
+        self._hops: list[tuple[float, float, str]] = []
+        self.delivery_cause: WakeCause | None = None
+        self._data_cause: WakeCause | None = None
         cost = world.cost
         self.eager = cost.uses_eager(payload.nbytes, packed=packed, derived=derived)
         if synchronous:
@@ -214,6 +223,17 @@ class SendOperation:
                 obs.complete(now, arrival, "proto.eager", rank=self.proc.rank,
                              category="transfer", parent=None, dest=self.dest,
                              tag=self.tag, nbytes=self.payload.nbytes)
+            if obs.wait_edges_enabled:
+                sender = world.kernel.current_task
+                self.delivery_cause = WakeCause(
+                    "eager-data",
+                    origin=sender.name if sender is not None else None,
+                    origin_time=now,
+                    hops=(
+                        (now, now + cost.latency, "latency"),
+                        (now + cost.latency, arrival, "wire"),
+                    ),
+                )
             world.kernel.call_later(arrival - now, self._deliver)
             # Buffer reusable immediately: eager copies into library
             # buffers at injection.
@@ -233,6 +253,16 @@ class SendOperation:
                 obs.complete(now, now + cost.latency, "proto.rts",
                              rank=self.proc.rank, category="handshake",
                              parent=self._span, dest=self.dest, tag=self.tag)
+            if obs.wait_edges_enabled:
+                sender = world.kernel.current_task
+                self._origin = (sender.name if sender is not None else "", now)
+                self._hops = [(now, now + cost.latency, "latency")]
+                self.delivery_cause = WakeCause(
+                    "rts",
+                    origin=self._origin[0],
+                    origin_time=now,
+                    hops=tuple(self._hops),
+                )
             world.kernel.call_later(cost.latency, self._deliver)
         return self.handle
 
@@ -264,6 +294,16 @@ class SendOperation:
             world.obs.complete(now, now + cost.latency, "proto.cts", rank=self.dest,
                                category="handshake", parent=self._span,
                                src=self.proc.rank, tag=self.tag)
+        if world.obs.wait_edges_enabled:
+            now = world.kernel.now
+            grantor = world.kernel.current_task
+            if grantor is not None:
+                # The receive was found by a task (a late post): the
+                # enabling chain restarts at the granting task — the RTS
+                # had long been waiting in the unexpected queue.
+                self._origin = (grantor.name, now)
+                self._hops = []
+            self._hops.append((now, now + cost.latency, "latency"))
         world.kernel.call_later(cost.latency, self._on_cts)
 
     def _on_cts(self) -> None:
@@ -280,7 +320,20 @@ class SendOperation:
             world.obs.complete(now, arrival, "proto.push", rank=self.proc.rank,
                                category="transfer", parent=self._span,
                                dest=self.dest, nbytes=self.payload.nbytes)
-        self.handle._complete_at(done)
+        completion_cause = None
+        if world.obs.wait_edges_enabled and self._origin is not None:
+            self._hops.append((now, now + cost.rendezvous_overhead, "overhead"))
+            self._hops.append((now + cost.rendezvous_overhead, done, "wire"))
+            origin, origin_time = self._origin
+            completion_cause = WakeCause(
+                "send-complete", origin=origin, origin_time=origin_time,
+                hops=tuple(self._hops),
+            )
+            self._data_cause = WakeCause(
+                "data-landing", origin=origin, origin_time=origin_time,
+                hops=tuple(self._hops) + ((done, arrival, "latency"),),
+            )
+        self.handle._complete_at(done, completion_cause)
         if self.on_buffer_free is not None:
             world.kernel.call_later(max(0.0, done - now), self.on_buffer_free)
         world.kernel.call_later(arrival - now, self._data_landed)
@@ -292,4 +345,4 @@ class SendOperation:
             self.world.obs.end(self._span, self.world.kernel.now)
             self._span = None
         assert self.message.data_cond is not None
-        self.message.data_cond.notify_all()
+        self.message.data_cond.notify_all(cause=self._data_cause)

@@ -42,7 +42,10 @@ class Process:
     def __init__(self, world: "World", rank: int):
         self.world = world
         self.rank = rank
-        self.inbox = Inbox(on_match=self._on_match)
+        self.inbox = Inbox(
+            on_match=self._on_match,
+            on_depth=self._record_queue_depth if world.obs.enabled else None,
+        )
         self.arrival_cond = SimCondition(world.kernel, f"arrivals@{rank}")
         self.attached: AttachedBuffer | None = None
         #: Whether this rank's recently used buffers may still be cached.
@@ -58,7 +61,13 @@ class Process:
     def deliver(self, message) -> None:
         """Kernel context: a message/RTS reaches this process."""
         self.inbox.on_message(message)
-        self.arrival_cond.notify_all()
+        self.arrival_cond.notify_all(cause=message.operation.delivery_cause)
+
+    def _record_queue_depth(self, unexpected: int, posted: int) -> None:
+        """Traced runs only: flat events behind the Chrome counter lane."""
+        self.world.trace(
+            "queue.depth", rank=self.rank, unexpected=unexpected, posted=posted
+        )
 
     def _on_match(self, message) -> None:
         """Matching-engine callback: one envelope found its receive.

@@ -326,6 +326,11 @@ class Win:
                 obs.complete(t0, t0 + total, "rma.drain", rank=comm.process.rank,
                              category="rma", nops=len(self._pending),
                              nbytes=drained_bytes)
+                # The trailing latency of the drain sleep: the last
+                # payload in flight to the target.
+                obs.complete(t0 + total, t0 + total + cost.latency, "rma.land",
+                             rank=comm.process.rank, category="handshake",
+                             nops=len(self._pending))
             comm.world.trace("rma.drain", rank=comm.rank, nops=len(self._pending))
             self._pending.clear()
         t_sync = task.now

@@ -15,6 +15,10 @@ Three pieces, usable separately:
   ``trace_event`` JSON (loadable in ``chrome://tracing`` / Perfetto)
   and a phase cost-attribution table whose rows partition the job's
   total virtual time exactly.
+* **Critical path** (:mod:`.critical`) — the causal profiler over the
+  wait-for graph: the longest chain of work/wait segments (tiling the
+  job's virtual time exactly), per-resource blame, span slack, and the
+  what-if engine that predicts speedups under perturbed machines.
 
 Tracing is zero-cost when off: every instrumentation site guards on
 ``recorder.enabled`` before building a single attribute dict, and the
@@ -22,12 +26,28 @@ disabled recorder (:class:`NullRecorder`) is a no-op object.
 """
 
 from .attribution import PHASE_PRIORITY, attribute_phases
+from .critical import (
+    PERTURBATIONS,
+    RESOURCES,
+    CriticalPath,
+    PathSegment,
+    Perturbation,
+    extract_critical_path,
+    span_slack,
+)
 from .export import chrome_trace, load_chrome_trace_schema, validate_chrome_trace, write_chrome_trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import NULL_RECORDER, NullRecorder, SpanRecorder
 from .spans import Span
 
 __all__ = [
+    "CriticalPath",
+    "PathSegment",
+    "Perturbation",
+    "PERTURBATIONS",
+    "RESOURCES",
+    "extract_critical_path",
+    "span_slack",
     "Span",
     "SpanRecorder",
     "NullRecorder",

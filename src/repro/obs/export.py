@@ -3,20 +3,27 @@
 Produces the JSON object format understood by ``chrome://tracing`` and
 Perfetto: closed spans become ``"X"`` (complete) events with
 microsecond ``ts``/``dur``, flat trace events become ``"i"`` (instant)
-markers, and each rank gets a named thread via ``"M"`` metadata
-events.  ``validate_chrome_trace`` checks a document against the
-checked-in JSON schema (via ``jsonschema`` when available, with a
-structural fallback so the test suite needs no extra dependency).
+markers, matching-queue depth samples become ``"C"`` counter series,
+and each rank gets a named thread via ``"M"`` metadata events.  When a
+:class:`~repro.obs.critical.CriticalPath` is supplied, its segments
+render as a highlighted lane with ``"s"``/``"f"`` flow arrows binding
+the hand-off points between rank lanes.  ``validate_chrome_trace``
+checks a document against the checked-in JSON schema (via
+``jsonschema`` when available, with a structural fallback so the test
+suite needs no extra dependency).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..sim.trace import Tracer
 from .recorder import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .critical import CriticalPath
 
 __all__ = [
     "chrome_trace",
@@ -29,6 +36,13 @@ _SCHEMA_PATH = Path(__file__).with_name("chrome_trace.schema.json")
 
 #: tid used for spans/events that belong to no rank (world-level).
 _GLOBAL_TID = 99
+
+#: tid of the critical-path highlight lane.
+_CRITICAL_TID = 98
+
+#: Flat event category carrying matching-queue depth samples; exported
+#: as Chrome counter series instead of instant markers.
+_QUEUE_DEPTH = "queue.depth"
 
 
 def _json_safe(value: Any) -> Any:
@@ -54,12 +68,16 @@ def _event_rank(fields: dict[str, Any]) -> int | None:
     return None
 
 
-def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
+def chrome_trace(
+    tracer: Tracer, *, pid: int = 0, critical_path: "CriticalPath | None" = None
+) -> dict[str, Any]:
     """Render a tracer/recorder as a Chrome ``trace_event`` document.
 
     Works on a plain :class:`~repro.sim.trace.Tracer` (instants only)
     or a :class:`SpanRecorder` (spans + instants).  Times convert from
     virtual seconds to microseconds, the trace-viewer convention.
+    ``critical_path`` adds the highlighted critical-path lane plus flow
+    arrows at the points where the path hands off between tasks.
     """
     events: list[dict[str, Any]] = []
     tids: set[int] = set()
@@ -91,6 +109,24 @@ def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
         rank = _event_rank(event.fields)
         tid = rank if rank is not None else _GLOBAL_TID
         tids.add(tid)
+        if event.category == _QUEUE_DEPTH:
+            # Matching-engine queue depths: one counter series per rank
+            # (stacked area in the viewer), not an instant marker.
+            events.append(
+                {
+                    "name": f"rank{rank} queues" if rank is not None else "queues",
+                    "cat": "matching",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.time * 1e6,
+                    "args": {
+                        "unexpected": _json_safe(event.get("unexpected", 0)),
+                        "posted": _json_safe(event.get("posted", 0)),
+                    },
+                }
+            )
+            continue
         events.append(
             {
                 "name": event.category,
@@ -104,6 +140,10 @@ def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
             }
         )
 
+    if critical_path is not None and critical_path.segments:
+        events.extend(_critical_events(critical_path, pid))
+        tids.add(_CRITICAL_TID)
+
     metadata: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -114,7 +154,12 @@ def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
         }
     ]
     for tid in sorted(tids):
-        label = f"rank {tid}" if tid != _GLOBAL_TID else "world"
+        if tid == _GLOBAL_TID:
+            label = "world"
+        elif tid == _CRITICAL_TID:
+            label = "critical path"
+        else:
+            label = f"rank {tid}"
         metadata.append(
             {
                 "name": "thread_name",
@@ -127,10 +172,72 @@ def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+def _task_tid(task: str | None) -> int:
+    if task is not None and task.startswith("rank") and task[4:].isdigit():
+        return int(task[4:])
+    return _CRITICAL_TID
+
+
+def _critical_events(path: "CriticalPath", pid: int) -> list[dict[str, Any]]:
+    """The critical-path lane: one ``X`` tile per segment plus ``s/f``
+    flow pairs wherever the path hands off between tasks."""
+    events: list[dict[str, Any]] = []
+    flow_id = 0
+    previous = None
+    for seg in path.segments:
+        events.append(
+            {
+                "name": seg.resource,
+                "cat": "critical",
+                "ph": "X",
+                "pid": pid,
+                "tid": _CRITICAL_TID,
+                "ts": seg.begin * 1e6,
+                "dur": seg.duration * 1e6,
+                "args": {
+                    "kind": seg.kind,
+                    "task": seg.task if seg.task is not None else "",
+                    "detail": seg.detail,
+                },
+            }
+        )
+        if previous is not None and previous.task != seg.task:
+            flow_id += 1
+            events.append(
+                {
+                    "name": "critical-path",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": _task_tid(previous.task),
+                    "ts": previous.end * 1e6,
+                }
+            )
+            events.append(
+                {
+                    "name": "critical-path",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": _task_tid(seg.task),
+                    "ts": seg.begin * 1e6,
+                }
+            )
+        previous = seg
+    return events
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, *, critical_path: "CriticalPath | None" = None
+) -> Path:
     """Export ``tracer`` to ``path`` as Chrome trace JSON."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer), indent=1, sort_keys=True))
+    path.write_text(
+        json.dumps(chrome_trace(tracer, critical_path=critical_path), indent=1, sort_keys=True)
+    )
     return path
 
 
@@ -169,7 +276,7 @@ def _validate_structurally(doc: dict[str, Any]) -> None:
         for key in ("name", "ph", "pid", "tid"):
             if key not in ev:
                 raise ValueError(f"traceEvents[{i}] missing required key {key!r}")
-        if not isinstance(ev["name"], str) or ev["ph"] not in ("X", "i", "M"):
+        if not isinstance(ev["name"], str) or ev["ph"] not in ("X", "i", "M", "C", "s", "t", "f"):
             raise ValueError(f"traceEvents[{i}] has a bad name/ph")
         if ev["ph"] != "M":
             ts = ev.get("ts")
@@ -179,3 +286,7 @@ def _validate_structurally(doc: dict[str, Any]) -> None:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ValueError(f"traceEvents[{i}] ('X') needs a non-negative 'dur'")
+        if ev["ph"] == "C" and not isinstance(ev.get("args"), dict):
+            raise ValueError(f"traceEvents[{i}] ('C') needs counter 'args'")
+        if ev["ph"] in ("s", "t", "f") and not isinstance(ev.get("id"), (int, str)):
+            raise ValueError(f"traceEvents[{i}] (flow) needs an 'id'")

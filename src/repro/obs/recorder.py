@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from ..sim.trace import NullTracer, Tracer
+from ..sim.trace import NullTracer, Tracer, WaitEdge
 from .spans import Span
 
 __all__ = ["SpanRecorder", "NullRecorder", "NULL_RECORDER"]
@@ -31,6 +31,7 @@ class SpanRecorder(Tracer):
     """Collects spans (and, via the base class, flat trace events)."""
 
     AUTO = _AUTO
+    wait_edges_enabled = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -38,6 +39,38 @@ class SpanRecorder(Tracer):
         self._next_sid = 1
         #: per-rank stacks of open *scoped* spans (auto-parent targets)
         self._stacks: dict[int | None, list[Span]] = {}
+        #: wait-for graph raw material, filled by the kernel
+        self._wait_edges: list[WaitEdge] = []
+        self._sleeps: dict[str, list[tuple[float, float]]] = {}
+        self._task_starts: dict[str, float] = {}
+        self._task_finishes: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Wait-for graph recording (called by the kernel)
+    # ------------------------------------------------------------------
+    def record_wait_edge(self, edge: WaitEdge) -> None:
+        self._wait_edges.append(edge)
+
+    def record_sleep(self, task: str, begin: float, end: float) -> None:
+        self._sleeps.setdefault(task, []).append((begin, end))
+
+    def record_task_start(self, task: str, time: float) -> None:
+        self._task_starts.setdefault(task, time)
+
+    def record_task_finish(self, task: str, time: float) -> None:
+        self._task_finishes[task] = time
+
+    def wait_edges(self) -> list[WaitEdge]:
+        return list(self._wait_edges)
+
+    def task_sleeps(self) -> dict[str, list[tuple[float, float]]]:
+        return {name: list(segs) for name, segs in self._sleeps.items()}
+
+    def task_starts(self) -> dict[str, float]:
+        return dict(self._task_starts)
+
+    def task_finishes(self) -> dict[str, float]:
+        return dict(self._task_finishes)
 
     # ------------------------------------------------------------------
     # Recording

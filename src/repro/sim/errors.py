@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trace import WaitEdge
+
 __all__ = ["SimError", "DeadlockError", "KernelStateError", "EventLimitExceeded"]
+
+#: How many of the most recent wait-for edges a deadlock message keeps.
+_DEADLOCK_EDGE_TAIL = 12
 
 
 class SimError(Exception):
@@ -14,13 +22,36 @@ class DeadlockError(SimError):
 
     Carries the offending tasks so callers (and tests) can inspect what
     each rank was waiting for — the simulated equivalent of an MPI job
-    hanging in ``MPI_Recv``.
+    hanging in ``MPI_Recv``.  Entries in ``blocked`` are either
+    ``(name, reason)`` or ``(name, reason, block_time)`` tuples; when a
+    tracing run recorded wait-for ``edges``, the message appends the
+    recent wakeup history so the actual wait cycle is visible, not just
+    the stuck task names.
     """
 
-    def __init__(self, blocked: list[tuple[str, str]]):
-        self.blocked = blocked
-        detail = "; ".join(f"{name}: {reason}" for name, reason in blocked)
-        super().__init__(f"simulation deadlock — all live tasks blocked ({detail})")
+    def __init__(
+        self,
+        blocked: Sequence[tuple[str, str] | tuple[str, str, float]],
+        edges: Sequence["WaitEdge"] = (),
+    ):
+        self.blocked = [tuple(entry) for entry in blocked]
+        self.edges = list(edges)
+        parts = []
+        for entry in self.blocked:
+            name, reason = entry[0], entry[1]
+            if len(entry) > 2:
+                parts.append(f"{name}: {reason} (since t={entry[2]:.6g})")
+            else:
+                parts.append(f"{name}: {reason}")
+        message = f"simulation deadlock — all live tasks blocked ({'; '.join(parts)})"
+        if self.edges:
+            tail = self.edges[-_DEADLOCK_EDGE_TAIL:]
+            history = "\n".join(f"  {edge.format()}" for edge in tail)
+            message += (
+                f"\nlast {len(tail)} resolved waits (wait-for graph, most recent last):\n"
+                f"{history}"
+            )
+        super().__init__(message)
 
 
 class KernelStateError(SimError):

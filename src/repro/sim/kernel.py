@@ -27,7 +27,7 @@ from enum import Enum
 from typing import Any
 
 from .errors import DeadlockError, EventLimitExceeded, KernelStateError, SimError
-from .trace import NullTracer, Tracer
+from .trace import NullTracer, Tracer, WaitEdge, WakeCause
 
 __all__ = ["Kernel", "SimTask", "TaskState"]
 
@@ -70,6 +70,10 @@ class SimTask:
         self._yielded = threading.Event()
         self._killed = False
         self._wake_token = 0
+        self._block_begin = 0.0
+        # Set by wake() while edge recording is on: (waker, notify_time,
+        # cause); consumed when the resume event fires.
+        self._pending_wake: tuple[str | None, float, WakeCause | None] | None = None
         self._thread = threading.Thread(target=self._thread_body, name=f"sim:{name}", daemon=True)
 
     # ------------------------------------------------------------------
@@ -124,6 +128,9 @@ class SimTask:
             raise ValueError(f"cannot sleep for negative duration {duration!r}")
         if duration == 0:
             return
+        if self._kernel.tracer.wait_edges_enabled:
+            now = self._kernel.now
+            self._kernel.tracer.record_sleep(self.name, now, now + duration)
         self.state = TaskState.SLEEPING
         self.block_reason = f"sleep({duration:.3g})"
         # _suspend() increments the wake token on entry, so the token
@@ -144,22 +151,30 @@ class SimTask:
         self._kernel._check_current(self)
         self.state = TaskState.BLOCKED
         self.block_reason = reason
+        self._block_begin = self._kernel.now
+        self._pending_wake = None
         self._suspend()
 
-    def wake(self, delay: float = 0.0) -> None:
+    def wake(self, delay: float = 0.0, cause: WakeCause | None = None) -> None:
         """Schedule this (suspended) task to resume ``delay`` from now.
 
         Calling ``wake`` on a task that is not currently suspended is a
         programming error: there is no suspension for the wakeup to
-        target.
+        target.  ``cause`` (only stored while edge recording is on)
+        documents *why* — it becomes part of the wait-for edge emitted
+        when the resume fires.
         """
         if not self.alive:
             return
         if self.state not in (TaskState.SLEEPING, TaskState.BLOCKED):
             raise KernelStateError(f"cannot wake {self.name!r}: state is {self.state.value}")
+        kernel = self._kernel
+        if kernel.tracer.wait_edges_enabled:
+            waker = kernel._current
+            self._pending_wake = (waker.name if waker is not None else None, kernel.now, cause)
         # The task is suspended, so its wake token already carries the
         # suspended value.
-        self._kernel._schedule_resume(self, self._kernel.now + delay, self._wake_token)
+        kernel._schedule_resume(self, kernel.now + delay, self._wake_token)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SimTask {self.name} {self.state.value}>"
@@ -248,6 +263,8 @@ class Kernel:
                 elif kind == "start":
                     # Threads start lazily here so tasks spawned mid-run
                     # work the same as tasks spawned up front.
+                    if self.tracer.wait_edges_enabled:
+                        self.tracer.record_task_start(payload.name, time)
                     if not payload._thread.is_alive():
                         payload._thread.start()
                     self._switch_to(payload)
@@ -257,6 +274,22 @@ class Kernel:
                         task.state in (TaskState.SLEEPING, TaskState.BLOCKED)
                         and token == task._wake_token
                     ):
+                        if task.state is TaskState.BLOCKED and self.tracer.wait_edges_enabled:
+                            pending = task._pending_wake
+                            waker, notify_time, cause = (
+                                pending if pending is not None else (None, time, None)
+                            )
+                            self.tracer.record_wait_edge(
+                                WaitEdge(
+                                    task=task.name,
+                                    block_begin=task._block_begin,
+                                    resume_time=time,
+                                    reason=task.block_reason,
+                                    waker=waker,
+                                    notify_time=notify_time,
+                                    cause=cause,
+                                )
+                            )
                         self._switch_to(task)
                 else:  # pragma: no cover - defensive
                     raise SimError(f"unknown event kind {kind!r}")
@@ -264,9 +297,11 @@ class Kernel:
                 raise self._failure
             if self._live_count > 0:
                 blocked = [
-                    (t.name, t.block_reason or t.state.value) for t in self._tasks if t.alive
+                    (t.name, t.block_reason or t.state.value, t._block_begin)
+                    for t in self._tasks
+                    if t.alive
                 ]
-                raise DeadlockError(blocked)
+                raise DeadlockError(blocked, edges=self.tracer.wait_edges())
         finally:
             self._abort_remaining()
 
@@ -299,6 +334,8 @@ class Kernel:
 
     def _task_done(self, task: SimTask) -> None:
         self._live_count -= 1
+        if self.tracer.wait_edges_enabled and task.state is TaskState.FINISHED:
+            self.tracer.record_task_finish(task.name, self._now)
 
     def _abort_remaining(self) -> None:
         """Unwind any still-suspended task threads so they don't leak."""

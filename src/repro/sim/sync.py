@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from .errors import KernelStateError
 from .kernel import Kernel, SimTask
+from .trace import WakeCause
 
 __all__ = ["SimCondition", "SimBarrier"]
 
@@ -36,14 +37,15 @@ class SimCondition:
         self._waiters.append(task)
         task.block(reason or f"wait({self.name})")
 
-    def notify_all(self, delay: float = 0.0) -> int:
+    def notify_all(self, delay: float = 0.0, cause: WakeCause | None = None) -> int:
         """Wake every current waiter ``delay`` virtual seconds from now.
 
-        Returns the number of tasks woken.
+        ``cause`` labels the wakeup for the wait-for graph (ignored when
+        edge recording is off).  Returns the number of tasks woken.
         """
         waiters, self._waiters = self._waiters, []
         for waiter in waiters:
-            waiter.wake(delay)
+            waiter.wake(delay, cause=cause)
         return len(waiters)
 
     @property
@@ -75,7 +77,14 @@ class SimBarrier:
         if self._arrived == self.parties:
             self._arrived = 0
             self._generation += 1
-            self._cond.notify_all(delay=release_cost)
+            cause = None
+            if self._kernel.tracer.wait_edges_enabled:
+                now = self._kernel.now
+                hops = ((now, now + release_cost, "sync"),) if release_cost > 0 else ()
+                cause = WakeCause(
+                    "barrier-release", origin=task.name, origin_time=now, hops=hops
+                )
+            self._cond.notify_all(delay=release_cost, cause=cause)
             if release_cost > 0:
                 task.sleep(release_cost)
             return

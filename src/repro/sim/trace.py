@@ -12,7 +12,48 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer"]
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "WakeCause", "WaitEdge"]
+
+
+@dataclass(frozen=True)
+class WakeCause:
+    """Provenance of a wakeup: why a blocked task was allowed to resume.
+
+    ``hops`` is a sequence of ``(begin, end, resource)`` intervals that
+    tile virtual time from ``origin_time`` up to the woken task's resume
+    time — e.g. an eager delivery is a latency hop followed by a wire
+    hop.  ``origin`` names the task in whose execution context the chain
+    started (``None`` when the chain began in kernel context and the
+    recorded waker should be used instead).
+    """
+
+    label: str
+    origin: str | None = None
+    origin_time: float | None = None
+    hops: tuple[tuple[float, float, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One resolved wait: task ``task`` blocked at ``block_begin`` with
+    ``reason`` and resumed at ``resume_time`` because ``waker`` woke it
+    at ``notify_time`` (optionally carrying a :class:`WakeCause`)."""
+
+    task: str
+    block_begin: float
+    resume_time: float
+    reason: str
+    waker: str | None
+    notify_time: float
+    cause: WakeCause | None = None
+
+    def format(self) -> str:
+        who = self.waker or "kernel"
+        why = f" [{self.cause.label}]" if self.cause is not None else ""
+        return (
+            f"{self.task} blocked on {self.reason!r} at t={self.block_begin:.9g}, "
+            f"woken by {who}{why} at t={self.resume_time:.9g}"
+        )
 
 
 @dataclass(frozen=True)
@@ -37,12 +78,34 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` records in arrival order."""
 
+    #: When True the kernel records wait-for edges, sleep segments and
+    #: task lifetimes (the raw material of the critical-path profiler).
+    #: Off on the base tracer; ``SpanRecorder`` turns it on.  A class
+    #: attribute so the disabled check is one attribute load.
+    wait_edges_enabled: bool = False
+
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
 
     @property
     def enabled(self) -> bool:
         return True
+
+    # -- wait-for graph hooks (no-ops unless wait_edges_enabled) -------
+    def record_wait_edge(self, edge: WaitEdge) -> None:
+        pass
+
+    def record_sleep(self, task: str, begin: float, end: float) -> None:
+        pass
+
+    def record_task_start(self, task: str, time: float) -> None:
+        pass
+
+    def record_task_finish(self, task: str, time: float) -> None:
+        pass
+
+    def wait_edges(self) -> list[WaitEdge]:
+        return []
 
     def record(self, time: float, category: str, **fields: Any) -> None:
         """Append one event."""

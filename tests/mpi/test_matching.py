@@ -25,7 +25,7 @@ class FakeCond:
     def __init__(self):
         self.notified = 0
 
-    def notify_all(self, delay=0.0):
+    def notify_all(self, delay=0.0, cause=None):
         self.notified += 1
 
 

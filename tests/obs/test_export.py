@@ -70,7 +70,8 @@ class TestChromeExport:
     def test_instant_markers_and_thread_metadata(self, tiny_job):
         doc = chrome_trace(tiny_job.tracer)
         instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
-        assert len(instants) == len(tiny_job.tracer)
+        depth_events = [e for e in tiny_job.tracer if e.category == "queue.depth"]
+        assert len(instants) == len(tiny_job.tracer) - len(depth_events)
         assert all(e["s"] == "t" for e in instants)
         names = {
             e["args"]["name"]
@@ -104,6 +105,60 @@ class TestChromeExport:
         doc = chrome_trace(tracer)
         validate_chrome_trace(doc)
         assert [e["ph"] for e in doc["traceEvents"] if e["ph"] != "M"] == ["i"]
+
+    def test_queue_depth_becomes_counter_series(self, tiny_job):
+        """Matching-queue depth samples export as ``C`` counter events,
+        one series per rank, carrying both queue depths as args."""
+        doc = chrome_trace(tiny_job.tracer)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        depth_events = [e for e in tiny_job.tracer if e.category == "queue.depth"]
+        assert len(depth_events) > 0
+        assert len(counters) == len(depth_events)
+        for ev in counters:
+            assert ev["cat"] == "matching"
+            assert set(ev["args"]) == {"unexpected", "posted"}
+        # both recvs were posted before their matches: posted depth rises
+        assert any(ev["args"]["posted"] > 0 for ev in counters)
+        assert all(ev["args"]["unexpected"] == 0 for ev in counters)
+
+    def test_unexpected_queue_depth_counted(self):
+        """A message whose receive is posted late sits in the unexpected
+        queue; the counter series must show that depth."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(SimBuffer.virtual(64), dest=1, tag=0)
+                comm.Send(SimBuffer.virtual(64), dest=1, tag=5)
+            else:
+                # tag=0 arrives while we wait on tag=5 -> unexpected
+                comm.Recv(SimBuffer.virtual(64), source=0, tag=5)
+                comm.Recv(SimBuffer.virtual(64), source=0, tag=0)
+
+        job = run_mpi(main, 2, "ideal", trace=True)
+        doc = chrome_trace(job.tracer)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert any(e["args"]["unexpected"] > 0 for e in counters)
+
+    def test_critical_path_lane_and_flows(self, tiny_job):
+        from repro.obs import extract_critical_path
+
+        path = extract_critical_path(tiny_job.tracer, tiny_job.virtual_time)
+        doc = chrome_trace(tiny_job.tracer, critical_path=path)
+        validate_chrome_trace(doc)
+        tiles = [e for e in doc["traceEvents"] if e.get("cat") == "critical"]
+        assert len(tiles) == len(path.segments)
+        assert all(e["tid"] == 98 for e in tiles)
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == len(finishes) > 0
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "critical path" in names
 
 
 class TestValidationRejects:

@@ -4,16 +4,26 @@
 Times an *untraced* benchmark workload in the current tree and in a
 base revision (checked out into a temporary ``git worktree``), and
 fails if the current tree is more than ``--threshold`` slower.  This is
-the CI tripwire for instrumentation creep: span emission is free when
-tracing is off, and this script keeps it that way.
+the CI tripwire for instrumentation creep: span emission *and
+wait-for-edge recording* are free when tracing is off, and this script
+keeps them that way.
+
+Two layers:
+
+1. a **structural** check (head tree only): an untraced run must keep
+   ``Tracer.wait_edges_enabled`` False and record zero wait edges,
+   sleeps, or task lifecycle entries — the disabled path is one
+   attribute load, never a list append;
+2. the **timing** comparison against the base revision.
 
 Usage::
 
     python tools/check_tracing_overhead.py [--base REF] [--threshold 0.05]
 
-The workload uses only APIs present in every revision of interest
-(``run_pingpong`` over a few schemes), so both trees can run the same
-snippet verbatim.
+The timing workload uses only APIs present in every revision of
+interest (``run_pingpong`` over a few schemes), so both trees can run
+the same snippet verbatim; the blocking-heavy rendezvous cells in it
+exercise every block/wake site the edge recorder hooks.
 """
 
 from __future__ import annotations
@@ -52,6 +62,28 @@ for _ in range(3):
     once()
     times.append(time.perf_counter() - t0)
 print(min(times))
+"""
+
+
+#: Head-tree-only structural check of the disabled edge-recording path.
+STRUCTURAL_CHECK = """
+from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
+from repro.sim.trace import Tracer
+
+assert Tracer.wait_edges_enabled is False, "base Tracer must disable edge recording"
+result = run_pingpong(
+    "vector",
+    strided_for_bytes(1_000_000),
+    "skx-impi",
+    policy=TimingPolicy(iterations=2, flush=True),
+    materialize=False,
+    trace=False,
+)
+tracer = result.tracer
+assert not isinstance(tracer, __import__("repro.obs", fromlist=["SpanRecorder"]).SpanRecorder)
+assert tracer.wait_edges_enabled is False
+assert tracer.wait_edges() == [], "untraced run recorded wait-for edges"
+print("structural OK")
 """
 
 
@@ -103,6 +135,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per tree; the minimum is used")
     args = parser.parse_args(argv)
+
+    out = _run(
+        [sys.executable, "-c", STRUCTURAL_CHECK],
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    print(f"wait-for-edge recording when disabled: {out.splitlines()[-1]}")
 
     base = args.base or default_base()
     worktree = Path(tempfile.mkdtemp(prefix="overhead-base-"))
