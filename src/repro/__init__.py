@@ -12,6 +12,8 @@ Layers (each a subpackage, bottom-up):
   collectives.
 * :mod:`repro.core` — the paper's benchmark suite: eight send schemes
   over the measured ping-pong.
+* :mod:`repro.exec` — the cell-execution engine: content-addressed
+  specs, the serial/parallel executor, and the on-disk result store.
 * :mod:`repro.analysis` — figures, tables, claim checks, reports.
 * :mod:`repro.experiments` — one driver per paper artifact.
 
@@ -20,8 +22,10 @@ Entry points: :func:`repro.mpi.run_mpi` for MPI programs,
 ``python -m repro`` CLI.
 """
 
-from . import analysis, core, experiments, machine, mpi, sim
+from . import analysis, core, exec, experiments, machine, mpi, sim
 
 __version__ = "1.0.0"
 
-__all__ = ["machine", "sim", "mpi", "core", "analysis", "experiments", "__version__"]
+__all__ = [
+    "machine", "sim", "mpi", "core", "exec", "analysis", "experiments", "__version__",
+]

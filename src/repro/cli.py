@@ -27,10 +27,20 @@ from .core.schemes import PAPER_ORDER, SCHEME_CLASSES
 from .core.sweep import SweepConfig, default_message_sizes
 from .core.timing import TimingPolicy
 from .core.runner import run_sweep
+from .exec import Executor, ResultStore, using_executor
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .machine.registry import get_platform, list_platforms
 
 __all__ = ["main", "build_parser"]
+
+
+def _executor_from(args: argparse.Namespace) -> Executor | None:
+    """Build the command's executor from ``--jobs``/``--no-cache``
+    (``None`` for commands without execution options)."""
+    if not hasattr(args, "jobs"):
+        return None
+    cache = None if args.no_cache else ResultStore()
+    return Executor(jobs=args.jobs, cache=cache)
 
 
 def _progress(scheme: str, size: int, time: float) -> None:
@@ -220,6 +230,16 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir) if args.dir else ResultStore()
+    if args.action == "stats":
+        print(store.stats().render())
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} cached cell(s) from {store.root}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     report = build_report(quick=args.quick, progress=_progress if args.verbose else None)
     text = report.to_markdown()
@@ -240,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("platforms", help="list calibrated platforms").set_defaults(fn=cmd_platforms)
     sub.add_parser("schemes", help="list the eight send schemes").set_defaults(fn=cmd_schemes)
 
+    def add_exec_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="run cells on N worker processes (default 1: serial; "
+                            "results are bit-identical either way)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result store (see 'repro cache')")
+
     def add_sweep_options(p: argparse.ArgumentParser, with_platform: bool = True) -> None:
         if with_platform:
             p.add_argument("--platform", default="skx-impi", choices=list_platforms())
@@ -251,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-flush", action="store_true", help="skip inter-ping-pong cache flush")
         p.add_argument("--schemes", nargs="*", choices=list(PAPER_ORDER), default=None)
         p.add_argument("--verbose", "-v", action="store_true")
+        add_exec_options(p)
 
     p = sub.add_parser("sweep", help="run a scheme x size sweep")
     add_sweep_options(p)
@@ -268,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run an in-text experiment / ablation")
     p.add_argument("experiment", choices=list(EXPERIMENTS))
     p.add_argument("--quick", action="store_true")
+    add_exec_options(p)
     p.set_defaults(fn=cmd_experiment)
 
     p = sub.add_parser("claims", help="check the paper's claims on one platform")
@@ -307,20 +336,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="cross-check payload delivery across all schemes")
     p.add_argument("--platform", default="skx-impi", choices=list_platforms())
     p.add_argument("--bytes", type=int, default=65_536)
+    add_exec_options(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--out", default="EXPERIMENTS.md")
     p.add_argument("--verbose", "-v", action="store_true")
+    add_exec_options(p)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result store")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--dir", default=None,
+                   help="store root (default: $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
+    p.set_defaults(fn=cmd_cache)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    executor = _executor_from(args)
+    try:
+        if executor is None:
+            return args.fn(args)
+        with using_executor(executor):
+            return args.fn(args)
+    except KeyboardInterrupt:
+        # Completed cells are already durable in the result store; a
+        # re-run of the same command fast-forwards through them.
+        print("\ninterrupted", file=sys.stderr)
+        if executor is not None and executor.cache is not None:
+            print(
+                f"  {executor.cells_executed} newly executed cell(s) are cached "
+                f"under {executor.cache.root}\n"
+                "  re-run the same command to resume from them",
+                file=sys.stderr,
+            )
+        elif executor is not None:
+            print("  nothing persisted (--no-cache); a re-run starts from scratch",
+                  file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

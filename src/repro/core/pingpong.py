@@ -40,6 +40,9 @@ class PingPongResult:
     metrics: MetricsRegistry | None = field(default=None, compare=False, repr=False)
     #: Virtual time at which the whole job drained.
     virtual_time: float = 0.0
+    #: Whether this cell was served from the on-disk result store
+    #: (provenance only — cached and fresh cells are bit-identical).
+    cached: bool = field(default=False, compare=False)
 
     @property
     def time(self) -> float:

@@ -1,14 +1,24 @@
-"""Sweep orchestration: run a full scheme x size grid on a platform."""
+"""Sweep orchestration: run a full scheme x size grid on a platform.
+
+A sweep is just a batch of :class:`~repro.exec.CellSpec`\\ s handed to
+the ambient :class:`~repro.exec.Executor` — which is how ``--jobs N``
+parallelism and the content-addressed result cache reach every sweep
+(figures, claims, experiments) without any of those callers changing.
+The default executor is serial and cache-less, bit-identical to the
+pre-split double loop.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..machine.platform import Platform
 from ..machine.registry import get_platform
-from .pingpong import run_pingpong
 from .results import Measurement, SweepResult
 from .sweep import SweepConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec imports core)
+    from ..exec import Executor
 
 __all__ = ["run_sweep"]
 
@@ -20,12 +30,20 @@ def run_sweep(
     config: SweepConfig | None = None,
     *,
     progress: ProgressFn | None = None,
+    executor: "Executor | None" = None,
 ) -> SweepResult:
     """Run every (scheme, size) cell of ``config`` on ``platform``.
 
-    ``progress(scheme, message_bytes, time)`` is invoked after each cell
-    (the CLI uses it for live output).
+    ``progress(scheme, message_bytes, time)`` is invoked as each cell
+    finishes (the CLI uses it for live output; under a parallel
+    executor cells report in completion order).  ``executor`` overrides
+    the ambient executor from :func:`repro.exec.current_executor`.
+
+    The result is independent of the execution mode: serial, parallel,
+    and cache-served sweeps produce bit-identical ``SweepResult``\\ s.
     """
+    from ..exec import CellSpec, current_executor
+
     if isinstance(platform, str):
         platform = get_platform(platform)
     config = config or SweepConfig()
@@ -39,32 +57,40 @@ def run_sweep(
             "sizes": list(config.sizes),
             "schemes": list(config.schemes),
             "concurrent_streams": config.concurrent_streams,
+            "materialize_limit": config.materialize_limit,
+            "layout_factory": config.layout_factory_id,
         },
     )
-    for scheme_key in config.schemes:
-        for size in config.sizes:
-            layout = config.layout_for(size)
-            cell = run_pingpong(
-                scheme_key,
-                layout,
-                platform,
-                policy=config.policy,
-                materialize=config.materialize(size),
-                concurrent_streams=config.concurrent_streams,
+    specs = [
+        CellSpec(
+            scheme=scheme_key,
+            layout=config.layout_for(size),
+            platform=platform,
+            policy=config.policy,
+            materialize=config.materialize(size),
+            concurrent_streams=config.concurrent_streams,
+        )
+        for scheme_key in config.schemes
+        for size in config.sizes
+    ]
+    on_result = None
+    if progress is not None:
+        def on_result(index: int, cell) -> None:
+            progress(cell.scheme, cell.message_bytes, cell.time)
+
+    cells = (executor or current_executor()).run_batch(specs, on_result=on_result)
+    for cell in cells:
+        result.add(
+            Measurement(
+                scheme=cell.scheme,
+                label=cell.label,
+                message_bytes=cell.message_bytes,
+                time=cell.time,
+                min_time=cell.stats.minimum,
+                max_time=cell.stats.maximum,
+                std=cell.stats.std,
+                dismissed=cell.stats.dismissed,
+                verified=cell.verified,
             )
-            result.add(
-                Measurement(
-                    scheme=cell.scheme,
-                    label=cell.label,
-                    message_bytes=cell.message_bytes,
-                    time=cell.time,
-                    min_time=cell.stats.minimum,
-                    max_time=cell.stats.maximum,
-                    std=cell.stats.std,
-                    dismissed=cell.stats.dismissed,
-                    verified=cell.verified,
-                )
-            )
-            if progress is not None:
-                progress(scheme_key, cell.message_bytes, cell.time)
+        )
     return result

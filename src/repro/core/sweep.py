@@ -60,6 +60,22 @@ class SweepConfig:
     def layout_for(self, message_bytes: int) -> Layout:
         return self.layout_factory(message_bytes)
 
+    @property
+    def layout_factory_id(self) -> str:
+        """The layout factory's identity, for sweep provenance.
+
+        Recorded in ``SweepResult.metadata`` so two sweeps over the same
+        sizes but different layout shapes can be told apart after the
+        fact.  (Cache keys do not need this: cells are keyed by the
+        concrete ``Layout`` the factory produced.)
+        """
+        fn = self.layout_factory
+        module = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", None)
+        if module and qualname:
+            return f"{module}.{qualname}"
+        return repr(fn)
+
     def materialize(self, message_bytes: int) -> bool:
         return message_bytes <= self.materialize_limit
 

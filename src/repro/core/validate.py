@@ -78,15 +78,26 @@ def validate_schemes(
     platform: Platform | str = "skx-impi",
     *,
     schemes: tuple[str, ...] = PAPER_ORDER,
+    executor=None,
 ) -> ValidationResult:
-    """Deliver the same payload through every scheme and cross-check."""
+    """Deliver the same payload through every scheme and cross-check.
+
+    The deliveries fan out over the ambient executor's workers (one
+    materialized ping-pong per scheme is exactly cell-shaped work);
+    payloads are never cached — validation exists to exercise the real
+    transfer paths.
+    """
+    from ..exec import current_executor
+
     if isinstance(platform, str):
         platform = get_platform(platform)
     layout = strided_for_bytes(message_bytes)
     expected = layout.expected_payload()
     result = ValidationResult(message_bytes=layout.message_bytes, platform=platform.name)
-    for key in schemes:
-        payload = _deliver_once(key, layout, platform)
+    payloads = (executor or current_executor()).starmap(
+        _deliver_once, [(key, layout, platform) for key in schemes]
+    )
+    for key, payload in zip(schemes, payloads):
         result.payloads[key] = payload
         if not np.array_equal(payload, expected):
             bad = int(np.count_nonzero(payload != expected))

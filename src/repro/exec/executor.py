@@ -1,0 +1,216 @@
+"""The cell executor: *how* a batch of specs gets run.
+
+Every sweep and experiment reduces to a batch of :class:`CellSpec`\\ s;
+the :class:`Executor` turns batches into results three ways, all
+bit-identical:
+
+* **serially** (``jobs=1``, the default) — in-process, cell by cell,
+  exactly the pre-split double loop;
+* **in parallel** (``jobs=N``) — fanned out over a
+  ``ProcessPoolExecutor``.  Cells are pure functions of their specs
+  (deterministic kernel, per-cell noise seeding), so worker placement
+  and completion order cannot affect any result;
+* **from cache** — when a :class:`~repro.exec.store.ResultStore` is
+  attached, hits skip execution entirely and misses are persisted the
+  moment they complete, making interrupted batches resumable.
+
+Per-cell metrics registries are merged (commutatively, so parallel
+completion order does not matter) into :attr:`Executor.metrics`;
+traced runs (``repro trace``/``explain``) keep calling
+:func:`~repro.core.pingpong.run_pingpong` directly, since a trace wants
+one world's recorder, not an aggregate.
+
+The *ambient* executor (:func:`current_executor`/:func:`using_executor`)
+is how the CLI threads ``--jobs``/``--no-cache`` through every code
+path — ``run_sweep``, figures, claims, experiments, and validation all
+ask for the ambient executor unless handed one explicitly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from ..core.pingpong import PingPongResult
+from ..obs import MetricsRegistry
+from .spec import CellOutcome, CellSpec, execute_spec
+from .store import ResultStore
+
+__all__ = ["Executor", "current_executor", "using_executor"]
+
+#: ``on_result`` callback: (index into the batch, finished cell).
+OnResult = Callable[[int, PingPongResult], None]
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    """A worker pool; forked where available so workers inherit the
+    already-imported simulator instead of re-importing numpy per spawn."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return ProcessPoolExecutor(
+            max_workers=jobs, mp_context=multiprocessing.get_context("fork")
+        )
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+class Executor:
+    """Runs batches of cell specs serially, in parallel, or from cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes in-process.
+    cache:
+        Optional on-disk result store.  Hits bypass execution; fresh
+        outcomes are persisted per cell as they complete.
+    """
+
+    def __init__(self, *, jobs: int = 1, cache: ResultStore | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        #: Batch-aggregated metrics from every freshly executed cell.
+        self.metrics = MetricsRegistry()
+        self.cells_executed = 0
+        self.cells_cached = 0
+
+    # ------------------------------------------------------------------
+    def run_cell(self, spec: CellSpec) -> PingPongResult:
+        """Run (or fetch) a single cell."""
+        return self.run_batch([spec])[0]
+
+    def run_batch(
+        self,
+        specs: Sequence[CellSpec],
+        *,
+        on_result: OnResult | None = None,
+    ) -> list[PingPongResult]:
+        """Run every spec; return results in spec order.
+
+        ``on_result(index, cell)`` fires as each cell finishes — in
+        batch order serially, in completion order under ``jobs > 1``
+        (live progress, not an ordering guarantee).
+
+        On ``KeyboardInterrupt``, cells already completed have been
+        persisted to the cache (when one is attached); the exception
+        propagates so callers can print a resume hint.
+        """
+        specs = list(specs)
+        results: list[PingPongResult | None] = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                self.cells_cached += 1
+                results[i] = spec.to_result(hit, cached=True)
+                if on_result is not None:
+                    on_result(i, results[i])
+            else:
+                pending.append(i)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                results[i] = self._absorb(specs[i], execute_spec(specs[i]))
+                if on_result is not None:
+                    on_result(i, results[i])
+        elif pending:
+            self._run_parallel(specs, pending, results, on_result)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _run_parallel(
+        self,
+        specs: list[CellSpec],
+        pending: list[int],
+        results: list[PingPongResult | None],
+        on_result: OnResult | None,
+    ) -> None:
+        with _pool(min(self.jobs, len(pending))) as pool:
+            try:
+                futures: dict[Future, int] = {
+                    pool.submit(execute_spec, specs[i]): i for i in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures[fut]
+                        results[i] = self._absorb(specs[i], fut.result())
+                        if on_result is not None:
+                            on_result(i, results[i])
+            except BaseException:
+                # Persisted cells survive; everything in flight is torn
+                # down now rather than at context exit so Ctrl-C does
+                # not hang behind queued work.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    def _absorb(self, spec: CellSpec, outcome: CellOutcome) -> PingPongResult:
+        """Account, persist, and convert one freshly executed outcome."""
+        self.cells_executed += 1
+        if self.cache is not None:
+            self.cache.put(spec, outcome)
+        if outcome.metrics is not None:
+            self.metrics.merge(outcome.metrics)
+        return spec.to_result(outcome)
+
+    # ------------------------------------------------------------------
+    def starmap(self, fn: Callable[..., Any], argtuples: Sequence[tuple]) -> list[Any]:
+        """Generic fan-out for cell-shaped work that is not a
+        :class:`CellSpec` (e.g. payload-validation deliveries).
+
+        ``fn`` must be picklable (module-level) and pure; results come
+        back in argument order.  No caching — only specs are
+        content-addressed.
+        """
+        argtuples = list(argtuples)
+        if self.jobs == 1 or len(argtuples) <= 1:
+            return [fn(*args) for args in argtuples]
+        with _pool(min(self.jobs, len(argtuples))) as pool:
+            try:
+                futures = [pool.submit(fn, *args) for args in argtuples]
+                return [f.result() for f in futures]
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    def describe(self) -> str:
+        cache = "off" if self.cache is None else str(self.cache.root)
+        return (
+            f"executor: jobs={self.jobs}, cache={cache} "
+            f"({self.cells_executed} executed, {self.cells_cached} cache hits)"
+        )
+
+
+# ----------------------------------------------------------------------
+# The ambient executor.
+# ----------------------------------------------------------------------
+_ambient: Executor | None = None
+_default: Executor | None = None
+
+
+def current_executor() -> Executor:
+    """The executor in effect: the innermost :func:`using_executor`
+    installation, else a process-wide serial, cache-less default that
+    reproduces pre-split behaviour exactly."""
+    global _default
+    if _ambient is not None:
+        return _ambient
+    if _default is None:
+        _default = Executor()
+    return _default
+
+
+@contextmanager
+def using_executor(executor: Executor) -> Iterator[Executor]:
+    """Install ``executor`` as the ambient executor for a ``with`` block
+    (the CLI wraps each command in one; tests use it for isolation)."""
+    global _ambient
+    previous = _ambient
+    _ambient = executor
+    try:
+        yield executor
+    finally:
+        _ambient = previous

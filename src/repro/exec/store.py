@@ -1,0 +1,157 @@
+"""Content-addressed on-disk result store.
+
+One JSON file per executed cell, addressed by the cell's content
+digest, under a *model-version salt* directory::
+
+    <root>/<salt>/<digest[:2]>/<digest>.json
+
+The salt is :data:`repro.machine.fingerprint.MODEL_VERSION`; bumping it
+(whenever pricing under ``repro.machine``/``repro.mpi`` changes)
+orphans every previously cached cell without touching the files, so a
+stale generation can still be inspected — ``repro cache stats`` reports
+it, ``repro cache clear`` reaps it.
+
+Floats are persisted as ``float.hex()`` strings: a cache hit
+reconstitutes the *exact* per-iteration times, so cached and fresh
+results are bit-identical (the golden tests pin this).
+
+Writes are atomic (temp file + ``os.replace``) and per-cell, which is
+what makes interrupted sweeps resumable: every cell completed before a
+``KeyboardInterrupt`` is already durable, and re-running the same
+command fast-forwards through them as hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..machine.fingerprint import MODEL_VERSION
+from .spec import CellOutcome, CellSpec
+
+__all__ = ["ResultStore", "StoreStats", "default_cache_dir"]
+
+#: Bump when the *file format* (not the pricing model) changes.
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the store root: ``$REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro-mpi``, else ``~/.cache/repro-mpi``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-mpi"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    salt: str
+    entries: int
+    bytes: int
+    stale_entries: int  #: Entries under other (orphaned) salts.
+
+    def render(self) -> str:
+        lines = [
+            f"result store: {self.root}",
+            f"  model salt:  {self.salt}",
+            f"  entries:     {self.entries} ({self.bytes:,} B)",
+        ]
+        if self.stale_entries:
+            lines.append(
+                f"  stale:       {self.stale_entries} entries from older model "
+                "generations (repro cache clear reaps them)"
+            )
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """Content-addressed cell-outcome store on the local filesystem."""
+
+    def __init__(self, root: str | Path | None = None, *, salt: str = MODEL_VERSION):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: CellSpec) -> Path:
+        digest = spec.digest
+        return self.root / self.salt / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: CellSpec) -> CellOutcome | None:
+        """The stored outcome for ``spec``, or ``None``.
+
+        Unreadable or malformed entries (partial writes from a killed
+        process, format drift) behave as misses — the cell simply
+        re-executes and overwrites them.
+        """
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+            if data.get("format") != _FORMAT_VERSION:
+                return None
+            return CellOutcome(
+                times=tuple(float.fromhex(t) for t in data["times_hex"]),
+                verified=bool(data["verified"]),
+                events=int(data["events"]),
+                virtual_time=float.fromhex(data["virtual_time_hex"]),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: CellSpec, outcome: CellOutcome) -> Path:
+        """Persist ``outcome`` under ``spec``'s digest (atomic)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT_VERSION,
+            # Human provenance — ignored on load, keyed by the filename.
+            "cell": spec.describe(),
+            "times_hex": [t.hex() for t in outcome.times],
+            "verified": outcome.verified,
+            "events": outcome.events,
+            "virtual_time_hex": outcome.virtual_time.hex(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in self.root.rglob("*.json") if p.is_file()]
+
+    def stats(self) -> StoreStats:
+        current = stale = total_bytes = 0
+        salt_root = self.root / self.salt
+        for path in self._entries():
+            total_bytes += path.stat().st_size
+            if salt_root in path.parents:
+                current += 1
+            else:
+                stale += 1
+        return StoreStats(
+            root=str(self.root),
+            salt=self.salt,
+            entries=current,
+            bytes=total_bytes,
+            stale_entries=stale,
+        )
+
+    def clear(self) -> int:
+        """Delete every cached entry (all salts).  Returns the count."""
+        removed = len(self._entries())
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed

@@ -9,8 +9,8 @@ one half), expecting times to fall towards the contiguous-send floor.
 from __future__ import annotations
 
 from ..core.layout import StridedLayout
-from ..core.pingpong import run_pingpong
 from ..core.timing import TimingPolicy
+from ..exec import CellSpec, current_executor
 from ..machine.registry import get_platform
 from .base import ExperimentResult
 
@@ -22,13 +22,22 @@ def run_block_size_experiment(platform: str = "skx-impi", *, quick: bool = False
     payload_elems = 2 ** 17 if quick else 2 ** 21  # 1 MB / 16 MB payload
     blocklens = (1, 4, 16) if quick else (1, 2, 4, 8, 16, 32)
     policy = TimingPolicy(iterations=5 if quick else 20)
+    specs = [
+        CellSpec(
+            scheme="copying",
+            layout=StridedLayout(
+                nblocks=payload_elems // blocklen, blocklen=blocklen, stride=2 * blocklen
+            ),
+            platform=plat,
+            policy=policy,
+            materialize=False,
+        )
+        for blocklen in blocklens
+    ]
+    cells = current_executor().run_batch(specs)
     times: dict[int, float] = {}
     lines = []
-    for blocklen in blocklens:
-        layout = StridedLayout(
-            nblocks=payload_elems // blocklen, blocklen=blocklen, stride=2 * blocklen
-        )
-        cell = run_pingpong("copying", layout, plat, policy=policy, materialize=False)
+    for blocklen, cell in zip(blocklens, cells):
         times[blocklen] = cell.time
         lines.append(
             f"  blocklen {blocklen:>3} doubles: {cell.time:.4g}s "

@@ -9,8 +9,8 @@ block displacements at fixed payload and measure the copy-based schemes
 from __future__ import annotations
 
 from ..core.layout import IrregularLayout
-from ..core.pingpong import run_pingpong
 from ..core.timing import TimingPolicy
+from ..exec import CellSpec, current_executor
 from ..machine.registry import get_platform
 from .base import ExperimentResult
 
@@ -24,11 +24,20 @@ def run_irregular_spacing_experiment(
     nblocks = 50_000 if quick else 500_000  # payload 0.4 / 4 MB
     jitters = (0.0, 0.9) if quick else (0.0, 0.3, 0.6, 0.9)
     policy = TimingPolicy(iterations=5 if quick else 20)
+    specs = [
+        CellSpec(
+            scheme="copying",
+            layout=IrregularLayout(nblocks=nblocks, blocklen=1, stride=4, jitter=jitter),
+            platform=plat,
+            policy=policy,
+            materialize=quick is False and nblocks <= 100_000,
+        )
+        for jitter in jitters
+    ]
+    cells = current_executor().run_batch(specs)
     times: dict[float, float] = {}
     lines = []
-    for jitter in jitters:
-        layout = IrregularLayout(nblocks=nblocks, blocklen=1, stride=4, jitter=jitter)
-        cell = run_pingpong("copying", layout, plat, policy=policy, materialize=quick is False and nblocks <= 100_000)
+    for jitter, cell in zip(jitters, cells):
         times[jitter] = cell.time
         lines.append(
             f"  jitter {jitter:.1f}: {cell.time:.4g}s "

@@ -10,8 +10,8 @@ loops, not the wire — do not degrade.
 from __future__ import annotations
 
 from ..core.layout import strided_for_bytes
-from ..core.pingpong import run_pingpong
 from ..core.timing import TimingPolicy
+from ..exec import CellSpec, current_executor
 from ..machine.registry import get_platform
 from .base import ExperimentResult
 
@@ -25,13 +25,23 @@ def run_multi_process_experiment(platform: str = "skx-impi", *, quick: bool = Fa
     streams = (1, 2) if quick else (1, 2, 4)
     policy = TimingPolicy(iterations=5 if quick else 20)
     times: dict[str, dict[int, float]] = {"vector": {}, "copying": {}}
+    grid = [(scheme, k) for scheme in times for k in streams]
+    specs = [
+        CellSpec(
+            scheme=scheme,
+            layout=layout,
+            platform=plat,
+            policy=policy,
+            materialize=False,
+            concurrent_streams=k,
+        )
+        for scheme, k in grid
+    ]
+    cells = current_executor().run_batch(specs)
+    for (scheme, k), cell in zip(grid, cells):
+        times[scheme][k] = cell.time
     lines = []
     for scheme in times:
-        for k in streams:
-            cell = run_pingpong(
-                scheme, layout, plat, policy=policy, materialize=False, concurrent_streams=k
-            )
-            times[scheme][k] = cell.time
         ratios = [times[scheme][k] / times[scheme][streams[0]] for k in streams]
         lines.append(
             f"  {scheme}: " + ", ".join(f"{k} pair(s) -> {times[scheme][k]:.4g}s" for k in streams)

@@ -12,6 +12,7 @@ from .access import AccessPattern, contiguous_pattern
 from .analytic import AnalyticModel, stride2_pattern
 from .cache import CacheHierarchy, CacheLevel
 from .cpu import CpuModel
+from .fingerprint import MODEL_VERSION, canonical, digest_of
 from .memory import CopyCost, MemoryModel
 from .network import NetworkModel
 from .noise import NoiseModel
@@ -35,6 +36,9 @@ __all__ = [
     "CacheLevel",
     "CpuModel",
     "CopyCost",
+    "MODEL_VERSION",
+    "canonical",
+    "digest_of",
     "MemoryModel",
     "NetworkModel",
     "NoiseModel",

@@ -71,6 +71,27 @@ class Platform:
             self, name=name, description=description if description is not None else self.description
         )
 
+    def fingerprint(self) -> str:
+        """Stable content digest of everything that prices a simulation.
+
+        Covers the hardware models, the MPI tuning profile (see
+        :meth:`MpiTuning.fingerprint`), and the noise model — but *not*
+        ``name``/``description``/``figure``, which are labels: a renamed
+        copy of a platform prices identically and fingerprints
+        identically.
+        """
+        from .fingerprint import digest_of
+
+        return digest_of(
+            {
+                "memory": self.memory,
+                "network": self.network,
+                "cpu": self.cpu,
+                "tuning": self.tuning,
+                "noise": self.noise,
+            }
+        )
+
     def describe(self) -> str:
         """Multi-line summary used by the CLI's ``platforms`` command."""
         net = self.network

@@ -180,3 +180,14 @@ class MpiTuning:
     def with_eager_limit(self, eager_limit: int | None) -> "MpiTuning":
         """A copy of this tuning with a different eager limit."""
         return replace(self, eager_limit=eager_limit)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of every tuning knob (quirks included).
+
+        Two tunings share a fingerprint iff every knob is bit-identical;
+        the cell-execution cache folds this into its keys so a re-tuned
+        platform can never serve another tuning's cached results.
+        """
+        from .fingerprint import digest_of
+
+        return digest_of(self)

@@ -327,8 +327,12 @@ class Win:
                              category="rma", nops=len(self._pending),
                              nbytes=drained_bytes)
                 # The trailing latency of the drain sleep: the last
-                # payload in flight to the target.
-                obs.complete(t0 + total, t0 + total + cost.latency, "rma.land",
+                # payload in flight to the target.  End at the clock,
+                # not ``t0 + total + latency`` — the sleep advanced the
+                # clock by ``total + latency`` in one addition, and the
+                # differently-rounded sum can overshoot the enclosing
+                # iteration span by one ulp.
+                obs.complete(t0 + total, task.now, "rma.land",
                              rank=comm.process.rank, category="handshake",
                              nops=len(self._pending))
             comm.world.trace("rma.drain", rank=comm.rank, nops=len(self._pending))

@@ -35,6 +35,10 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in (commutative: values add)."""
+        self.value += other.value
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -56,6 +60,16 @@ class Gauge:
 
     def add(self, delta: float) -> None:
         self.set(self.value + delta)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in.
+
+        Merging happens across *concurrently executed* jobs, where
+        "last value" has no meaning — both fields take the maximum, the
+        only commutative choice that keeps high-water marks exact.
+        """
+        self.value = max(self.value, other.value)
+        self.max_value = max(self.max_value, other.max_value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Gauge {self.name}={self.value} max={self.max_value}>"
@@ -95,6 +109,22 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (commutative: counts and sums add,
+        extrema combine).  Requires identical bucket boundaries."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge differing bucket layouts"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
 
@@ -125,6 +155,25 @@ class MetricsRegistry:
         if h is None:
             h = self._histograms[name] = Histogram(name)
         return h
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Used by the cell executor to aggregate per-job registries (one
+        per simulated world, possibly produced in worker processes) into
+        a batch-level view.  Every per-instrument merge is commutative,
+        so the aggregate is independent of cell completion order.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, g in other._gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram(name, h.buckets)
+            mine.merge(h)
 
     # ------------------------------------------------------------------
     def counter_value(self, name: str) -> int | float:

@@ -10,6 +10,18 @@ from repro.machine import get_platform
 from repro.mpi import run_mpi
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path_factory, monkeypatch):
+    """Point the exec-layer result store at a per-test temp directory.
+
+    CLI commands cache by default; without this, tests would write to
+    (and read stale cells from) the user's real ~/.cache/repro-mpi.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("result-store"))
+    )
+
+
 @pytest.fixture
 def ideal():
     """The round-number test platform (10 GB/s everywhere, 1 us latency,

@@ -104,3 +104,22 @@ class TestRunSweep:
         )
         result = run_sweep("ideal", cfg)
         assert result.platform == "ideal"
+
+    def test_metadata_records_the_full_recipe(self, ideal):
+        """Saved sweeps must be auditable: the materialize threshold and
+        the layout-factory identity ride along in the metadata."""
+        cfg = SweepConfig(
+            sizes=(1024,), schemes=("reference",),
+            policy=TimingPolicy(iterations=2, flush=False),
+        )
+        meta = run_sweep(ideal, cfg).metadata
+        assert meta["materialize_limit"] == cfg.materialize_limit
+        assert meta["layout_factory"] == "repro.core.layout.strided_for_bytes"
+
+    def test_metadata_names_a_custom_layout_factory(self, ideal):
+        cfg = SweepConfig(
+            sizes=(1024,), schemes=("reference",),
+            policy=TimingPolicy(iterations=2, flush=False),
+        ).with_layout_factory(lambda n: strided_for_bytes(n, blocklen=4))
+        meta = run_sweep(ideal, cfg).metadata
+        assert "lambda" in meta["layout_factory"]

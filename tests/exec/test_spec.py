@@ -1,0 +1,144 @@
+"""CellSpec content digests: stability, sensitivity, and hashing.
+
+The digest is the cache key, so these tests pin its contract from both
+sides: everything that can change a measurement *must* move the digest
+(scheme, layout, platform pricing, tuning knobs, noise model, policy,
+materialization, stream count), and cosmetic attributes (platform
+rename with identical pricing) must *not* move the platform
+fingerprint — though the spec digest still folds the name in, so
+experiment-local variants stay distinguishable by intent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StridedLayout, TimingPolicy, strided_for_bytes
+from repro.exec import CellSpec
+from repro.machine import digest_of, get_platform
+from repro.machine.noise import NoiseModel
+
+
+def spec_on(platform, **overrides) -> CellSpec:
+    base = dict(
+        scheme="vector",
+        layout=strided_for_bytes(65_536),
+        platform=platform,
+        policy=TimingPolicy(iterations=3, flush=False),
+        materialize=False,
+    )
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+class TestDigestStability:
+    def test_same_inputs_same_digest(self, skx):
+        assert spec_on(skx).digest == spec_on(skx).digest
+
+    def test_digest_is_hex_sha256(self, skx):
+        digest = spec_on(skx).digest
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_registry_roundtrip_is_stable(self, skx):
+        # A platform freshly built from the registry digests identically
+        # to one already in hand: no per-process or per-object state.
+        assert spec_on(skx).digest == spec_on(get_platform("skx-impi")).digest
+
+    def test_known_digest_pinned(self, ideal):
+        """The capture-once golden: if this moves, every user's cache is
+        silently orphaned — bump MODEL_VERSION instead of editing this."""
+        spec = CellSpec(
+            scheme="reference",
+            layout=StridedLayout(nblocks=256, blocklen=1, stride=2),
+            platform=ideal,
+            policy=TimingPolicy(iterations=3, flush=True),
+            materialize=False,
+        )
+        assert spec.digest == digest_of(
+            {
+                "scheme": spec.scheme,
+                "layout": spec.layout,
+                "platform_name": "ideal",
+                "platform": ideal.fingerprint(),
+                "policy": spec.policy,
+                "materialize": False,
+                "concurrent_streams": 1,
+            }
+        )
+
+
+class TestDigestSensitivity:
+    def test_scheme_moves_digest(self, skx):
+        assert spec_on(skx).digest != spec_on(skx, scheme="copying").digest
+
+    def test_layout_moves_digest(self, skx):
+        assert (
+            spec_on(skx).digest
+            != spec_on(skx, layout=strided_for_bytes(65_536, blocklen=4)).digest
+        )
+
+    def test_policy_moves_digest(self, skx):
+        flushed = spec_on(skx, policy=TimingPolicy(iterations=3, flush=True))
+        assert spec_on(skx).digest != flushed.digest
+
+    def test_materialize_moves_digest(self, skx):
+        assert spec_on(skx).digest != spec_on(skx, materialize=True).digest
+
+    def test_streams_move_digest(self, skx):
+        assert spec_on(skx).digest != spec_on(skx, concurrent_streams=2).digest
+
+    def test_platform_name_moves_digest(self, skx):
+        # Conservative: identical pricing under a different name is a
+        # different cell (experiments name variants by what they change).
+        assert spec_on(skx).digest != spec_on(skx.with_name("skx-renamed")).digest
+
+    def test_tuning_knob_moves_digest(self, skx):
+        retuned = skx.with_tuning(skx.tuning.with_eager_limit(None))
+        assert spec_on(skx).digest != spec_on(retuned).digest
+
+    def test_noise_model_moves_digest(self, skx):
+        noisy = skx.with_noise(NoiseModel(sigma=0.01, seed=7))
+        assert spec_on(skx).digest != spec_on(noisy).digest
+
+
+class TestPlatformFingerprint:
+    def test_rename_does_not_move_fingerprint(self, skx):
+        assert skx.fingerprint() == skx.with_name("anything").fingerprint()
+
+    def test_retuning_moves_fingerprint(self, skx):
+        retuned = skx.with_tuning(skx.tuning.with_eager_limit(123_456))
+        assert skx.fingerprint() != retuned.fingerprint()
+
+    def test_tuning_fingerprint_tracks_quirks(self, skx):
+        assert skx.tuning.fingerprint() != skx.tuning.with_eager_limit(None).fingerprint()
+
+
+class TestHashing:
+    def test_specs_work_as_dict_keys(self, skx, ideal):
+        a, b = spec_on(skx), spec_on(ideal)
+        assert a == spec_on(skx)
+        assert hash(a) == hash(spec_on(skx))
+        assert len({a, spec_on(skx), b}) == 2
+
+    def test_validation(self, skx):
+        with pytest.raises(ValueError):
+            spec_on(skx, scheme="")
+        with pytest.raises(ValueError):
+            spec_on(skx, concurrent_streams=0)
+
+
+class TestCanonicalisation:
+    def test_floats_are_exact(self):
+        # 0.1 + 0.2 != 0.3: hex encoding must keep them distinct.
+        assert digest_of(0.1 + 0.2) != digest_of(0.3)
+
+    def test_int_and_float_distinct(self):
+        assert digest_of(1) != digest_of(1.0)
+
+    def test_callables_rejected(self):
+        with pytest.raises(TypeError):
+            digest_of(lambda n: n)
+
+    def test_dict_key_order_irrelevant(self):
+        assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})

@@ -1,0 +1,102 @@
+"""The content-addressed result store: roundtrips, salt invalidation,
+corruption tolerance, stats, and clearing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import TimingPolicy, strided_for_bytes
+from repro.exec import CellSpec, ResultStore, default_cache_dir, execute_spec
+
+
+def small_spec(platform) -> CellSpec:
+    return CellSpec(
+        scheme="copying",
+        layout=strided_for_bytes(2_048),
+        platform=platform,
+        policy=TimingPolicy(iterations=2, flush=False),
+        materialize=False,
+    )
+
+
+def test_default_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))
+    assert default_cache_dir() == tmp_path / "mine"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-mpi"
+
+
+def test_roundtrip_is_bit_exact(tmp_path, ideal):
+    spec = small_spec(ideal)
+    outcome = execute_spec(spec)
+    store = ResultStore(tmp_path)
+    store.put(spec, outcome)
+    loaded = store.get(spec)
+    assert loaded is not None
+    assert [t.hex() for t in loaded.times] == [t.hex() for t in outcome.times]
+    assert loaded.virtual_time.hex() == outcome.virtual_time.hex()
+    assert loaded.events == outcome.events
+    assert loaded.verified == outcome.verified
+    # The metrics registry never persists: hits come back without one.
+    assert loaded.metrics is None
+    # And the reconstituted public result matches the fresh one exactly.
+    assert spec.to_result(loaded, cached=True).stats == spec.to_result(outcome).stats
+
+
+def test_miss_returns_none(tmp_path, ideal):
+    assert ResultStore(tmp_path).get(small_spec(ideal)) is None
+
+
+def test_salt_bump_orphans_old_entries(tmp_path, ideal):
+    spec = small_spec(ideal)
+    outcome = execute_spec(spec)
+    v1 = ResultStore(tmp_path, salt="v1")
+    v1.put(spec, outcome)
+    assert v1.get(spec) is not None
+    # A pricing-model bump: same digest, new salt -> forced re-run.
+    v2 = ResultStore(tmp_path, salt="v2")
+    assert v2.get(spec) is None
+    stats = v2.stats()
+    assert stats.entries == 0 and stats.stale_entries == 1
+    assert "older model generations" in stats.render()
+
+
+def test_corrupt_entry_behaves_as_miss(tmp_path, ideal):
+    spec = small_spec(ideal)
+    store = ResultStore(tmp_path)
+    store.put(spec, execute_spec(spec))
+    path = store.path_for(spec)
+
+    path.write_text("{ truncated by a kill -9")
+    assert store.get(spec) is None
+
+    # Valid JSON from a future format is a miss too, not a crash.
+    path.write_text(json.dumps({"format": 999, "times_hex": []}))
+    assert store.get(spec) is None
+
+    # Overwriting repairs it.
+    store.put(spec, execute_spec(spec))
+    assert store.get(spec) is not None
+
+
+def test_stats_and_clear(tmp_path, ideal, skx):
+    store = ResultStore(tmp_path)
+    for platform in (ideal, skx):
+        spec = small_spec(platform)
+        store.put(spec, execute_spec(spec))
+    stats = store.stats()
+    assert stats.entries == 2 and stats.stale_entries == 0
+    assert stats.bytes > 0
+    assert str(tmp_path) in stats.render()
+    assert store.clear() == 2
+    assert store.stats().entries == 0
+    assert store.clear() == 0  # idempotent on an empty/absent root
+
+
+def test_entry_files_carry_human_provenance(tmp_path, ideal):
+    spec = small_spec(ideal)
+    store = ResultStore(tmp_path)
+    store.put(spec, execute_spec(spec))
+    data = json.loads(store.path_for(spec).read_text())
+    assert "copying" in data["cell"] and "ideal" in data["cell"]

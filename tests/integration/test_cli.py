@@ -107,6 +107,115 @@ def test_report_command_with_stub(tmp_path, capsys, monkeypatch):
     assert "PASS" in capsys.readouterr().out
 
 
+def test_sweep_with_jobs_matches_serial(tmp_path, capsys):
+    """--jobs 2 must print the same table and save the same artifact."""
+    base = ["sweep", "--platform", "ideal", "--min-bytes", "1000",
+            "--max-bytes", "100000", "--per-decade", "1",
+            "--iterations", "3", "--no-flush",
+            "--schemes", "reference", "copying"]
+    assert main(base + ["--out", str(tmp_path / "serial.json")]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(base + ["--jobs", "2", "--out", str(tmp_path / "par.json")]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out.replace("par.json", "serial.json") == serial_out
+    from repro.core.results import SweepResult
+
+    a = SweepResult.load(tmp_path / "serial.json")
+    b = SweepResult.load(tmp_path / "par.json")
+    assert a.to_dict() == b.to_dict()
+
+
+def test_sweep_reruns_hit_the_cache(capsys):
+    """The second identical invocation is served from the result store
+    (the autouse fixture points it at a per-test temp dir)."""
+    import repro.cli as cli_mod
+
+    captured = []
+    original = cli_mod._executor_from
+
+    def spy(args):
+        ex = original(args)
+        captured.append(ex)
+        return ex
+
+    cli_mod._executor_from = spy
+    try:
+        cmd = ["sweep", "--platform", "ideal", "--min-bytes", "1000",
+               "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+               "--schemes", "reference"]
+        assert main(cmd) == 0 and main(cmd) == 0
+    finally:
+        cli_mod._executor_from = original
+    first, second = captured
+    assert first.cells_executed == 1 and first.cells_cached == 0
+    assert second.cells_executed == 0 and second.cells_cached == 1
+
+
+def test_cache_stats_and_clear(capsys):
+    main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+          "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+          "--schemes", "reference", "copying"])
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries:     2" in out
+    assert main(["cache", "clear"]) == 0
+    assert "cleared 2" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "entries:     0" in capsys.readouterr().out
+
+
+def test_no_cache_flag_skips_the_store(capsys):
+    cmd = ["sweep", "--platform", "ideal", "--min-bytes", "1000",
+           "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+           "--schemes", "reference", "--no-cache"]
+    assert main(cmd) == 0
+    assert main(["cache", "stats"]) == 0
+    assert "entries:     0" in capsys.readouterr().out
+
+
+def test_interrupt_persists_and_hints_resume(capsys, monkeypatch):
+    """Ctrl-C mid-sweep: completed cells are durable, exit code is 130,
+    and stderr tells the user to just re-run the command."""
+    import repro.exec.executor as executor_mod
+    from repro.exec import execute_spec as real_execute
+
+    calls = {"n": 0}
+
+    def flaky(spec):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise KeyboardInterrupt
+        return real_execute(spec)
+
+    monkeypatch.setattr(executor_mod, "execute_spec", flaky)
+    cmd = ["sweep", "--platform", "ideal", "--min-bytes", "1000",
+           "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+           "--schemes", "reference", "copying", "vector"]
+    assert main(cmd) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "1 newly executed cell(s) are cached" in err
+    assert "re-run the same command" in err
+
+    # The resumed run fast-forwards through the persisted cell.
+    monkeypatch.setattr(executor_mod, "execute_spec", real_execute)
+    assert main(cmd) == 0
+
+
+def test_interrupt_without_cache_warns(capsys, monkeypatch):
+    import repro.exec.executor as executor_mod
+
+    def boom(spec):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(executor_mod, "execute_spec", boom)
+    assert main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+                 "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+                 "--schemes", "reference", "--no-cache"]) == 130
+    assert "nothing persisted (--no-cache)" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "fig9"])

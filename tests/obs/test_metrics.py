@@ -79,6 +79,66 @@ class TestRegistry:
         assert "c = 3" in reg.format()
 
 
+class TestMerge:
+    """Cross-registry merging (the executor aggregates per-cell
+    registries).  Every merge is commutative and associative, so a
+    parallel batch's aggregate is independent of completion order."""
+
+    def test_counter_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_gauge_merge_keeps_worst_case(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5)
+        b.set(9)
+        b.add(-9)
+        a.merge(b)
+        assert a.max_value == 9  # high-water marks combine by max
+        assert a.value == 5  # last values are incomparable; keep the max
+
+    def test_histogram_merge_is_bucketwise(self):
+        a, b = Histogram("h"), Histogram("h")
+        for v in (1, 1024):
+            a.observe(v)
+        b.observe(5)
+        a.merge(b)
+        assert a.count == 3 and a.total == 1030
+        assert a.min == 1 and a.max == 1024
+        assert sum(a.bucket_counts) == 3
+
+    def test_registry_merge_unions_names(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only.a").inc(1)
+        b.counter("only.b").inc(2)
+        b.counter("only.a").inc(10)
+        b.gauge("g").set(3)
+        b.histogram("h").observe(7)
+        a.merge(b)
+        assert a.counter_value("only.a") == 11
+        assert a.counter_value("only.b") == 2
+        assert a.gauge("g").max_value == 3
+        assert a.histogram("h").count == 1
+
+    def test_merge_order_invisible(self):
+        regs = []
+        for inc in (1, 10, 100):
+            r = MetricsRegistry()
+            r.counter("c").inc(inc)
+            r.gauge("g").set(inc)
+            r.histogram("h").observe(inc)
+            regs.append(r)
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for r in regs:
+            fwd.merge(r)
+        for r in reversed(regs):
+            rev.merge(r)
+        assert fwd.snapshot() == rev.snapshot()
+
+
 class TestEndToEndCounters:
     def test_eager_ping_pong_counts(self, ideal):
         """256 B < the ideal 1000 B eager limit: two eager sends, two

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Guard the wall-clock wins of the exec layer (``--jobs`` + result cache).
+
+Runs one fixed, materialized sweep four ways in the current tree —
+serial cold, parallel cold, cold-with-cache, warm-from-cache — then
+asserts the two wins the layer exists for:
+
+* the parallel cold run beats the serial cold run
+  (``--min-parallel-speedup``, checked only when the host actually has
+  more than one usable CPU — on a single-CPU box the gate is recorded
+  as skipped, not faked);
+* the warm-cache re-run beats the serial cold run by at least
+  ``--min-cache-speedup`` (default 10x).
+
+It also re-checks the layer's core contract on the side: all four runs
+must produce byte-identical sweep artifacts.  Results are recorded in
+``BENCH_exec.json``.
+
+Usage::
+
+    python tools/check_exec_speedup.py [--jobs 2] [--min-cache-speedup 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import SweepConfig, TimingPolicy, run_sweep  # noqa: E402
+from repro.exec import Executor, ResultStore  # noqa: E402
+
+#: All eight schemes over two materialized sizes, 20 iterations with
+#: cache flushes: the paper's measurement protocol at a size where one
+#: run costs a meaningful fraction of a second.
+CONFIG = SweepConfig(
+    sizes=(500_000, 1_000_000),
+    policy=TimingPolicy(iterations=20, flush=True),
+)
+PLATFORM = "skx-impi"
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def timed(executor: Executor):
+    t0 = time.perf_counter()
+    sweep = run_sweep(PLATFORM, CONFIG, executor=executor)
+    return time.perf_counter() - t0, sweep
+
+
+def measure(jobs: int, repeats: int, cache_root: Path):
+    """Best-of-``repeats`` per mode, interleaved so drifting machine
+    load biases no single mode."""
+    t = {"serial": float("inf"), "parallel": float("inf"),
+         "cold_cache": float("inf"), "warm_cache": float("inf")}
+    sweeps = {}
+    store = ResultStore(cache_root)
+    for rep in range(repeats):
+        t_run, sweeps["serial"] = timed(Executor(jobs=1))
+        t["serial"] = min(t["serial"], t_run)
+        t_run, sweeps["parallel"] = timed(Executor(jobs=jobs))
+        t["parallel"] = min(t["parallel"], t_run)
+        store.clear()
+        t_run, sweeps["cold_cache"] = timed(Executor(jobs=1, cache=store))
+        t["cold_cache"] = min(t["cold_cache"], t_run)
+        t_run, sweeps["warm_cache"] = timed(Executor(jobs=1, cache=store))
+        t["warm_cache"] = min(t["warm_cache"], t_run)
+    return t, sweeps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel leg (default 2)")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.1,
+                        help="required serial/parallel ratio (default 1.1; "
+                             "skipped on single-CPU hosts)")
+    parser.add_argument("--min-cache-speedup", type=float, default=10.0,
+                        help="required serial/warm-cache ratio (default 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per mode; the minimum is used")
+    parser.add_argument("--output", default=str(REPO / "BENCH_exec.json"),
+                        help="where to record the measurement")
+    args = parser.parse_args(argv)
+
+    cpus = usable_cpus()
+    with tempfile.TemporaryDirectory(prefix="exec-bench-") as cache_root:
+        t, sweeps = measure(args.jobs, args.repeats, Path(cache_root))
+
+    # The contract check rides along: every mode, byte-identical.
+    baseline = sweeps["serial"].to_dict()
+    for mode, sweep in sweeps.items():
+        if sweep.to_dict() != baseline:
+            print(f"FAIL: {mode} sweep differs from the serial sweep")
+            return 1
+
+    parallel_speedup = t["serial"] / t["parallel"]
+    cache_speedup = t["serial"] / t["warm_cache"]
+    cache_overhead = t["cold_cache"] / t["serial"]
+    parallel_checked = cpus >= 2
+
+    record = {
+        "workload": f"{len(CONFIG.schemes)} schemes x {list(CONFIG.sizes)} B, "
+                    f"{CONFIG.policy.iterations} iterations, flushed, materialized",
+        "platform": PLATFORM,
+        "cpus": cpus,
+        "jobs": args.jobs,
+        "serial_seconds": round(t["serial"], 4),
+        "parallel_seconds": round(t["parallel"], 4),
+        "cold_cache_seconds": round(t["cold_cache"], 4),
+        "warm_cache_seconds": round(t["warm_cache"], 4),
+        "parallel_speedup": round(parallel_speedup, 3),
+        "cache_speedup": round(cache_speedup, 1),
+        "parallel_gate": (
+            {"checked": True, "min": args.min_parallel_speedup}
+            if parallel_checked
+            else {"checked": False, "reason": "single-CPU host"}
+        ),
+        "cache_gate": {"checked": True, "min": args.min_cache_speedup},
+    }
+    Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
+
+    print(f"serial cold:     {t['serial']:.3f} s")
+    print(f"--jobs {args.jobs} cold:   {t['parallel']:.3f} s "
+          f"({parallel_speedup:.2f}x)")
+    print(f"cold + cache:    {t['cold_cache']:.3f} s "
+          f"({100 * (cache_overhead - 1):+.1f}% store overhead)")
+    print(f"warm cache:      {t['warm_cache']:.3f} s ({cache_speedup:.0f}x)")
+    print("all four sweeps byte-identical")
+
+    failed = False
+    if parallel_checked:
+        if parallel_speedup < args.min_parallel_speedup:
+            print(f"FAIL: parallel speedup {parallel_speedup:.2f}x below the "
+                  f"required {args.min_parallel_speedup:.2f}x")
+            failed = True
+    else:
+        print(f"parallel gate skipped: only {cpus} usable CPU "
+              "(measured and recorded, not asserted)")
+    if cache_speedup < args.min_cache_speedup:
+        print(f"FAIL: warm-cache speedup {cache_speedup:.1f}x below the "
+              f"required {args.min_cache_speedup:.1f}x")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
