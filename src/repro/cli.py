@@ -30,6 +30,7 @@ from .core.runner import run_sweep
 from .exec import Executor, ResultStore, using_executor
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .machine.registry import get_platform, list_platforms
+from .net import TOPOLOGY_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -98,7 +99,12 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, quick=args.quick)
+    kwargs = {}
+    if args.ranks is not None:
+        kwargs["ranks"] = args.ranks
+    if args.topology is not None:
+        kwargs["topology"] = args.topology
+    result = run_experiment(args.experiment, quick=args.quick, **kwargs)
     print(result.render())
     return 0 if result.passed is not False else 1
 
@@ -296,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run an in-text experiment / ablation")
     p.add_argument("experiment", choices=list(EXPERIMENTS))
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--ranks", type=int, default=None, metavar="N",
+                   help="simulated rank count (experiments that sweep ranks, e.g. halo)")
+    p.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default=None,
+                   help="interconnect topology for fabric-aware experiments (e.g. halo)")
     add_exec_options(p)
     p.set_defaults(fn=cmd_experiment)
 

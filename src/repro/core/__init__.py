@@ -5,6 +5,7 @@ measurement protocol, driven across message-size sweeps to regenerate
 each figure.
 """
 
+from .halo import HALO_SCHEMES, HaloRankResult, HaloSpec, halo_program
 from .layout import IrregularLayout, Layout, StridedLayout, strided_for_bytes
 from .pingpong import PingPongResult, run_pingpong
 from .results import Measurement, SchemeSeries, SweepResult
@@ -45,4 +46,8 @@ __all__ = [
     "summarize",
     "ValidationResult",
     "validate_schemes",
+    "HALO_SCHEMES",
+    "HaloSpec",
+    "HaloRankResult",
+    "halo_program",
 ]

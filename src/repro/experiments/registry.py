@@ -15,6 +15,7 @@ from .base import ExperimentResult
 from .block_size import run_block_size_experiment
 from .cache_flush import run_cache_flush_experiment
 from .eager_limit import run_eager_limit_experiment
+from .halo import run_halo_experiment
 from .irregular_spacing import run_irregular_spacing_experiment
 from .model_ablation import (
     run_slowdown_prediction_experiment,
@@ -56,6 +57,7 @@ _RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     ),
     "ablation-threshold": run_threshold_ablation_experiment,
     "noise": run_noise_experiment,
+    "halo": run_halo_experiment,
 }
 
 #: Every experiment id, figures first (matching DESIGN.md's index).

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..net.topology import Topology
 from .cpu import CpuModel
 from .memory import MemoryModel
 from .network import NetworkModel
@@ -35,6 +36,10 @@ class Platform:
         The MPI installation's tuning profile.
     noise:
         Optional measurement jitter (``None`` = deterministic).
+    topology:
+        Optional interconnect structure (``None`` or flat = the
+        closed-form single-wire model; anything else turns on the
+        :class:`~repro.net.flows.FlowEngine`).
     figure:
         Which paper figure this platform reproduces, if any.
     """
@@ -46,6 +51,7 @@ class Platform:
     cpu: CpuModel
     tuning: MpiTuning = field(default_factory=MpiTuning)
     noise: NoiseModel | None = None
+    topology: Topology | None = None
     figure: str | None = None
 
     def __post_init__(self) -> None:
@@ -65,6 +71,10 @@ class Platform:
         """Copy of this platform with a replaced noise model."""
         return replace(self, noise=noise)
 
+    def with_topology(self, topology: Topology | None) -> "Platform":
+        """Copy of this platform with a replaced interconnect topology."""
+        return replace(self, topology=topology)
+
     def with_name(self, name: str, description: str | None = None) -> "Platform":
         """Copy of this platform under a new name."""
         return replace(
@@ -75,22 +85,26 @@ class Platform:
         """Stable content digest of everything that prices a simulation.
 
         Covers the hardware models, the MPI tuning profile (see
-        :meth:`MpiTuning.fingerprint`), and the noise model — but *not*
-        ``name``/``description``/``figure``, which are labels: a renamed
-        copy of a platform prices identically and fingerprints
-        identically.
+        :meth:`MpiTuning.fingerprint`), the noise model, and — when a
+        non-flat interconnect is selected — the topology.  It does *not*
+        cover ``name``/``description``/``figure``, which are labels: a
+        renamed copy of a platform prices identically and fingerprints
+        identically.  The topology key is added *conditionally* so that
+        ``topology=None`` and ``topology=flat()`` (both priced by the
+        closed-form model) keep every historical digest byte-identical.
         """
         from .fingerprint import digest_of
 
-        return digest_of(
-            {
-                "memory": self.memory,
-                "network": self.network,
-                "cpu": self.cpu,
-                "tuning": self.tuning,
-                "noise": self.noise,
-            }
-        )
+        payload = {
+            "memory": self.memory,
+            "network": self.network,
+            "cpu": self.cpu,
+            "tuning": self.tuning,
+            "noise": self.noise,
+        }
+        if self.topology is not None and not self.topology.is_flat:
+            payload["topology"] = self.topology
+        return digest_of(payload)
 
     def describe(self) -> str:
         """Multi-line summary used by the CLI's ``platforms`` command."""
@@ -106,6 +120,8 @@ class Platform:
             f"  tuning: eager limit {eager}, staging chunk {tun.internal_chunk_bytes} B, "
             f"large-message threshold {tun.large_message_threshold} B",
         ]
+        if self.topology is not None:
+            lines.append(f"  topology: {self.topology.describe()}")
         if self.figure:
             lines.append(f"  reproduces: {self.figure}")
         return "\n".join(lines)

@@ -204,9 +204,17 @@ def gather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray | None,
         comm.Send(sendbuf, dest=root, tag=tag, count=count, datatype=datatype)
 
 
-def allgather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
-    """Gather to rank 0, then broadcast the assembled buffer."""
-    gather(comm, sendbuf, recvbuf if comm.rank == 0 else recvbuf, root=0)
+def allgather(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray, *,
+              count: int | None = None, datatype: Datatype | None = None) -> None:
+    """Gather to rank 0, then broadcast the assembled buffer.
+
+    With ``datatype`` given, each rank contributes ``count`` elements
+    of that (possibly derived) type; every slot of the assembled
+    ``recvbuf`` keeps the *source* layout (exactly what a derived-type
+    gather lands), and the broadcast ships the assembled buffer as the
+    raw contiguous bytes it already is.
+    """
+    gather(comm, sendbuf, recvbuf, root=0, count=count, datatype=datatype)
     bcast(comm, recvbuf, root=0)
 
 
@@ -282,23 +290,37 @@ def scatter(comm: "Comm", sendbuf: np.ndarray | None, recvbuf: np.ndarray,
         comm.Recv(recvbuf, source=root, tag=tag, count=count, datatype=datatype)
 
 
-def alltoall(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+def alltoall(comm: "Comm", sendbuf: np.ndarray, recvbuf: np.ndarray, *,
+             count: int | None = None, datatype: Datatype | None = None) -> None:
     """Linear all-to-all exchange; both buffers are ``(size, ...)``
-    shaped, slot ``i`` going to / coming from rank ``i``."""
+    shaped, slot ``i`` going to / coming from rank ``i``.
+
+    With ``datatype`` given, every slot carries ``count`` elements of
+    that (possibly derived) type through the plan-compiled p2p path;
+    the self slot moves through the same pack/unpack plan so it lands
+    exactly the bytes a self-send would.
+    """
     size = comm.size
     if sendbuf.shape[0] != size or recvbuf.shape[0] != size:
         raise CommunicatorError("alltoall buffers need a first dimension of comm size")
     tag = _next_tag(comm)
-    recvbuf[comm.rank] = sendbuf[comm.rank]
+    if datatype is None:
+        recvbuf[comm.rank] = sendbuf[comm.rank]
+    else:
+        for slot in (sendbuf[comm.rank], recvbuf[comm.rank]):
+            if not slot.flags.c_contiguous:
+                raise CommunicatorError("alltoall slots must be C-contiguous")
+        _local_copy(comm, sendbuf[comm.rank], recvbuf[comm.rank], count, datatype)
     # Post every receive first, then send in rank order: deadlock-free
     # for any message size.
     reqs = [
-        comm.Irecv(recvbuf[src], source=src, tag=tag)
+        comm.Irecv(recvbuf[src], source=src, tag=tag, count=count, datatype=datatype)
         for src in range(size)
         if src != comm.rank
     ]
     for dest in range(size):
         if dest != comm.rank:
-            comm.Send(np.ascontiguousarray(sendbuf[dest]), dest=dest, tag=tag)
+            comm.Send(np.ascontiguousarray(sendbuf[dest]), dest=dest, tag=tag,
+                      count=count, datatype=datatype)
     for req in reqs:
         req.wait()

@@ -564,10 +564,11 @@ class Comm:
 
         gather(self, sendbuf, recvbuf, root, count=count, datatype=datatype)
 
-    def Allgather(self, sendbuf, recvbuf) -> None:
+    def Allgather(self, sendbuf, recvbuf, *, count: int | None = None,
+                  datatype: Datatype | None = None) -> None:
         from .collectives import allgather
 
-        allgather(self, sendbuf, recvbuf)
+        allgather(self, sendbuf, recvbuf, count=count, datatype=datatype)
 
     def Scatter(self, sendbuf, recvbuf, root: int = 0, *, count: int | None = None,
                 datatype: Datatype | None = None) -> None:
@@ -575,10 +576,11 @@ class Comm:
 
         scatter(self, sendbuf, recvbuf, root, count=count, datatype=datatype)
 
-    def Alltoall(self, sendbuf, recvbuf) -> None:
+    def Alltoall(self, sendbuf, recvbuf, *, count: int | None = None,
+                 datatype: Datatype | None = None) -> None:
         from .collectives import alltoall
 
-        alltoall(self, sendbuf, recvbuf)
+        alltoall(self, sendbuf, recvbuf, count=count, datatype=datatype)
 
     def Scan(self, sendbuf, recvbuf, op: str = "sum") -> None:
         from .collectives import scan

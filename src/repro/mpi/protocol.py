@@ -181,6 +181,10 @@ class SendOperation:
         self._hops: list[tuple[float, float, str]] = []
         self.delivery_cause: WakeCause | None = None
         self._data_cause: WakeCause | None = None
+        #: Fabric mode: when the rendezvous push entered the CTS handler
+        #: (anchors the ``proto.push`` span, whose end is only known
+        #: when the flow drains).
+        self._cts_time = 0.0
         cost = world.cost
         self.eager = cost.uses_eager(payload.nbytes, packed=packed, derived=derived)
         if synchronous:
@@ -214,6 +218,21 @@ class SendOperation:
         if self.eager:
             world.c_eager_sends.inc()
             world.c_bytes_on_wire.inc(self.payload.nbytes)
+            if world.fabric is not None and self.payload.nbytes > 0:
+                # Fabric mode: the wire segment is a flow whose finish
+                # instant depends on contention — everything downstream
+                # (trace, spans, delivery) waits for the flow to drain.
+                if obs.wait_edges_enabled:
+                    sender = world.kernel.current_task
+                    self._origin = (sender.name if sender is not None else "", now)
+                # Buffer reusable immediately: eager copies into library
+                # buffers at injection.
+                self.handle._complete_at(now)
+                world.fabric.start_flow(
+                    self.proc.rank, self.dest, self.payload.nbytes,
+                    factor=self.wire_factor, on_finish=self._eager_flow_finished,
+                )
+                return self.handle
             arrival = now + cost.latency + cost.wire(self.payload.nbytes, factor=self.wire_factor)
             self.message.arrival_time = arrival
             world.trace("send.eager", src=self.proc.rank, dest=self.dest, tag=self.tag,
@@ -271,6 +290,49 @@ class SendOperation:
         destination's matching engine."""
         self.world.processes[self.dest].deliver(self.message)
 
+    # -- fabric mode ----------------------------------------------------
+    def _flow_hops(self, flow, done: float) -> tuple[tuple[float, float, str], ...]:
+        """Wait-for hops for a drained flow: the contention-free wire
+        time, then whatever max-min sharing stretched on top of it.
+
+        Under max-min fairness a flow's rate never exceeds its
+        uncontended bottleneck rate, so the stretch is non-negative; a
+        float-epsilon overshoot collapses to a single wire hop so the
+        chain always tiles ``[start, done]`` exactly.
+        """
+        start = flow.start_time
+        wire_end = start + flow.ideal_duration
+        if wire_end < done:
+            return ((start, wire_end, "wire"), (wire_end, done, "contention"))
+        return ((start, done, "wire"),)
+
+    def _eager_flow_finished(self, flow, done: float) -> None:
+        """Kernel context: the eager payload's flow drained; one path
+        latency later it reaches the destination's matching engine."""
+        world = self.world
+        fabric = world.fabric
+        latency = fabric.path_latency(self.proc.rank, self.dest)
+        arrival = done + latency
+        self.message.arrival_time = arrival
+        world.trace("send.eager", src=self.proc.rank, dest=self.dest, tag=self.tag,
+                    nbytes=self.payload.nbytes, arrival=arrival)
+        obs = world.obs
+        if obs.enabled:
+            obs.complete(flow.start_time, arrival, "proto.eager", rank=self.proc.rank,
+                         category="transfer", parent=None, dest=self.dest,
+                         tag=self.tag, nbytes=self.payload.nbytes)
+        if obs.wait_edges_enabled and self._origin is not None:
+            origin, origin_time = self._origin
+            self.delivery_cause = WakeCause(
+                "eager-data",
+                origin=origin,
+                origin_time=origin_time,
+                hops=self._flow_hops(flow, done) + ((done, arrival, "latency"),),
+            )
+        world.kernel.call_later(latency, self._deliver)
+        if self.on_buffer_free is not None:
+            world.kernel.call_later(latency, self.on_buffer_free)
+
     def grant_cts(self) -> None:
         """The receive side matched the RTS: grant the clear-to-send.
 
@@ -311,6 +373,14 @@ class SendOperation:
         world = self.world
         cost = world.cost
         now = world.kernel.now
+        if world.fabric is not None and self.payload.nbytes > 0:
+            # Fabric mode: charge the push overhead, then hand the wire
+            # segment to the flow engine.
+            if world.obs.wait_edges_enabled and self._origin is not None:
+                self._hops.append((now, now + cost.rendezvous_overhead, "overhead"))
+            self._cts_time = now
+            world.kernel.call_later(cost.rendezvous_overhead, self._start_push_flow)
+            return
         push = cost.rendezvous_overhead + cost.wire(self.payload.nbytes, factor=self.wire_factor)
         done = now + push
         arrival = done + cost.latency
@@ -337,6 +407,45 @@ class SendOperation:
         if self.on_buffer_free is not None:
             world.kernel.call_later(max(0.0, done - now), self.on_buffer_free)
         world.kernel.call_later(arrival - now, self._data_landed)
+
+    def _start_push_flow(self) -> None:
+        """Kernel context: rendezvous push overhead paid; start the
+        payload's flow through the fabric."""
+        self.world.fabric.start_flow(
+            self.proc.rank, self.dest, self.payload.nbytes,
+            factor=self.wire_factor, on_finish=self._push_flow_finished,
+        )
+
+    def _push_flow_finished(self, flow, done: float) -> None:
+        """Kernel context: the rendezvous payload's flow drained — the
+        send buffer frees now; the data lands one path latency later."""
+        world = self.world
+        fabric = world.fabric
+        latency = fabric.path_latency(self.proc.rank, self.dest)
+        arrival = done + latency
+        world.trace("send.push", src=self.proc.rank, dest=self.dest,
+                    nbytes=self.payload.nbytes, done=done, arrival=arrival)
+        if world.obs.enabled and self._span is not None:
+            world.obs.complete(self._cts_time, arrival, "proto.push",
+                               rank=self.proc.rank, category="transfer",
+                               parent=self._span, dest=self.dest,
+                               nbytes=self.payload.nbytes)
+        completion_cause = None
+        if world.obs.wait_edges_enabled and self._origin is not None:
+            self._hops.extend(self._flow_hops(flow, done))
+            origin, origin_time = self._origin
+            completion_cause = WakeCause(
+                "send-complete", origin=origin, origin_time=origin_time,
+                hops=tuple(self._hops),
+            )
+            self._data_cause = WakeCause(
+                "data-landing", origin=origin, origin_time=origin_time,
+                hops=tuple(self._hops) + ((done, arrival, "latency"),),
+            )
+        self.handle._complete_at(done, completion_cause)
+        if self.on_buffer_free is not None:
+            self.on_buffer_free()
+        world.kernel.call_later(latency, self._data_landed)
 
     def _data_landed(self) -> None:
         """Kernel context: rendezvous payload is in the user buffer."""

@@ -23,6 +23,7 @@ from typing import Any, Callable
 
 from ..machine.platform import Platform
 from ..machine.registry import get_platform
+from ..net.flows import FlowEngine
 from ..obs import NULL_RECORDER, MetricsRegistry, SpanRecorder
 from ..sim.kernel import Kernel
 from ..sim.sync import SimCondition
@@ -138,6 +139,21 @@ class World:
         #: span API, else the shared no-op.  Instrumentation sites guard
         #: on ``obs.enabled`` so the untraced path stays free.
         self.obs = kernel.tracer if isinstance(kernel.tracer, SpanRecorder) else NULL_RECORDER
+        #: Link-contention engine — built only for a non-flat topology.
+        #: ``None`` means the closed-form single-wire pricing (today's
+        #: model, bit-identical to every pre-fabric simulation).
+        topology = platform.topology
+        if topology is not None and not topology.is_flat:
+            self.fabric: FlowEngine | None = FlowEngine(
+                kernel,
+                topology,
+                platform.network,
+                concurrent_streams=concurrent_streams,
+                metrics=self.metrics,
+                tracer=kernel.tracer,
+            )
+        else:
+            self.fabric = None
         self.processes: list[Process] = []
         #: RMA window states, keyed by (context id, per-context index).
         self.win_registry: dict[tuple[int, int], Any] = {}
@@ -232,6 +248,12 @@ def run_mpi(
         raise ValueError("nranks must be >= 1")
     if isinstance(platform, str):
         platform = get_platform(platform)
+    if platform.topology is not None and not platform.topology.is_flat:
+        if nranks > platform.topology.max_ranks:
+            raise ValueError(
+                f"{nranks} rank(s) do not fit on the selected topology "
+                f"({platform.topology.describe()})"
+            )
     if tracer is None:
         tracer = SpanRecorder() if trace else NullTracer()
     kernel = Kernel(tracer=tracer)

@@ -1,0 +1,104 @@
+"""Static routing over :class:`~repro.net.topology.Topology` graphs.
+
+Routes are fully deterministic functions of (topology, source node,
+destination node) — no load awareness, no randomness — so the discrete
+-event simulation stays reproducible bit for bit.  Per kind:
+
+* **fat-tree** — up/down routing: node -> leaf [-> core -> leaf] -> node.
+* **torus2d** — dimension-order: resolve x first, then y, each along
+  the shorter wrap direction (ties break toward +x/+y).
+
+A :class:`Route` is a tuple of link *indices* into the topology's link
+tuple; the flow engine keys its capacity bookkeeping on those indices.
+"""
+
+from __future__ import annotations
+
+from .topology import Topology
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Precomputed static routes for one topology.
+
+    Routes are cached per (src node, dst node) pair on first use; the
+    cache is private mutable state, deterministic because route
+    construction is.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._index: dict[tuple[str, str], int] = {}
+        for i, link in enumerate(topology.links):
+            key = (link.src, link.dst)
+            if key in self._index:
+                raise ValueError(f"duplicate link {link.src} -> {link.dst}")
+            self._index[key] = i
+        self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def link_index(self, src: str, dst: str) -> int:
+        try:
+            return self._index[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no link {src} -> {dst} in {self.topology.kind}") from None
+
+    def route(self, src_node: int, dst_node: int) -> tuple[int, ...]:
+        """Link indices traversed from ``src_node`` to ``dst_node``.
+
+        Empty for intra-node traffic (and everywhere on ``flat``).
+        """
+        if src_node == dst_node or self.topology.is_flat:
+            return ()
+        key = (src_node, dst_node)
+        cached = self._routes.get(key)
+        if cached is None:
+            cached = self._build(src_node, dst_node)
+            self._routes[key] = cached
+        return cached
+
+    def hops(self, src_node: int, dst_node: int) -> int:
+        return len(self.route(src_node, dst_node))
+
+    # ------------------------------------------------------------------
+    def _build(self, src: int, dst: int) -> tuple[int, ...]:
+        top = self.topology
+        if top.kind == "fat-tree":
+            return self._fat_tree_route(src, dst)
+        if top.kind == "torus2d":
+            return self._torus_route(src, dst)
+        raise ValueError(f"no router for topology kind {top.kind!r}")
+
+    def _fat_tree_route(self, src: int, dst: int) -> tuple[int, ...]:
+        npl = self.topology.nodes_per_leaf
+        src_leaf, dst_leaf = src // npl, dst // npl
+        names: list[tuple[str, str]] = [(f"n{src}", f"sw{src_leaf}")]
+        if src_leaf != dst_leaf:
+            names.append((f"sw{src_leaf}", "core"))
+            names.append(("core", f"sw{dst_leaf}"))
+        names.append((f"sw{dst_leaf}", f"n{dst}"))
+        return tuple(self.link_index(a, b) for a, b in names)
+
+    def _torus_route(self, src: int, dst: int) -> tuple[int, ...]:
+        top = self.topology
+        width, height = top.width, top.height
+        x, y = src % width, src // width
+        dx_target, dy_target = dst % width, dst // width
+        hops: list[int] = []
+
+        def step(coord: int, target: int, size: int) -> int:
+            """Signed unit step along the shorter wrap (tie -> +1)."""
+            fwd = (target - coord) % size
+            back = (coord - target) % size
+            return 1 if fwd <= back else -1
+
+        while x != dx_target:
+            nx = (x + step(x, dx_target, width)) % width
+            hops.append(self.link_index(f"n{y * width + x}", f"n{y * width + nx}"))
+            x = nx
+        while y != dy_target:
+            ny = (y + step(y, dy_target, height)) % height
+            hops.append(self.link_index(f"n{y * width + x}", f"n{ny * width + x}"))
+            y = ny
+        return tuple(hops)

@@ -1,0 +1,290 @@
+"""Interconnect topologies: node/switch graphs with per-link capacities.
+
+A :class:`Topology` describes the *structure* of the fabric — which
+links exist and how much of the platform's point-to-point bandwidth
+each can carry — independently of any platform: link capacities are
+expressed as **factors of the platform's single-stream bandwidth**, so
+the same topology composes with every calibrated machine, and the
+platform fingerprint stays the single source of absolute numbers.
+
+Three kinds are built in:
+
+``flat``
+    The degenerate fabric: no links, no sharing.  Bit-identical to the
+    closed-form network model the simulator has always used (the flow
+    engine is bypassed entirely), so selecting it never perturbs
+    virtual time or cache digests.
+
+``fat-tree``
+    A two-tier tree: compute nodes hang off leaf switches, leaf
+    switches share one core switch.  The uplink capacity factor
+    controls oversubscription — with ``nodes_per_leaf`` nodes feeding
+    an uplink of ``nodes_per_leaf / 2`` (the default 2:1 taper),
+    cross-leaf traffic contends the way production fat-trees do.
+
+``torus2d``
+    A ``width x height`` 2D torus with bidirectional neighbor links
+    and dimension-order (x-then-y, shortest-wrap) routing.
+
+Multiple ranks map onto one node (``ranks_per_node``), sharing its
+injection link — the structural generalization of the paper's
+section 4.7 all-cores test.  ``placement`` picks the rank-to-node map:
+``block`` keeps consecutive ranks together, ``cyclic`` deals them
+round-robin (the classic worst-case mapping for nearest-neighbor
+traffic, useful for oversubscription studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "Topology",
+    "TOPOLOGY_KINDS",
+    "flat",
+    "fat_tree",
+    "torus2d",
+    "make_topology",
+]
+
+#: Registry-style names accepted by :func:`make_topology`.
+TOPOLOGY_KINDS = ("flat", "fat-tree", "torus2d")
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link of the fabric.
+
+    ``capacity_factor`` scales the owning platform's single-stream
+    point-to-point bandwidth; a factor of 1.0 carries exactly one
+    uncontended reference stream.  Full-duplex cables are modelled as
+    two directed links, so the two directions never contend.
+    """
+
+    src: str
+    dst: str
+    capacity_factor: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_factor <= 0:
+            raise ValueError("link capacity factor must be positive")
+        if self.src == self.dst:
+            raise ValueError("a link cannot connect a node to itself")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An interconnect graph plus the rank-to-node placement.
+
+    Frozen and built only from scalars and tuples so it fingerprints
+    canonically (see :mod:`repro.machine.fingerprint`) — a topology
+    change is a pricing change and must move the exec-cache digest.
+
+    Kind-specific structure parameters (``nodes_per_leaf``,
+    ``width``/``height``) ride along as plain fields; they are zero for
+    kinds they do not apply to.
+    """
+
+    kind: str
+    nnodes: int
+    links: tuple[Link, ...] = ()
+    ranks_per_node: int = 1
+    placement: str = "block"
+    #: Extra one-way latency per traversed link, seconds (0.0 keeps
+    #: path latency identical to the flat model's single constant).
+    hop_latency: float = 0.0
+    nodes_per_leaf: int = 0
+    width: int = 0
+    height: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; known: {', '.join(TOPOLOGY_KINDS)}"
+            )
+        if self.nnodes < 1:
+            raise ValueError("topology needs at least one node")
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        if self.placement not in ("block", "cyclic"):
+            raise ValueError("placement must be 'block' or 'cyclic'")
+        if self.hop_latency < 0:
+            raise ValueError("hop_latency must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_flat(self) -> bool:
+        """True for the degenerate no-sharing fabric (flow engine off)."""
+        return self.kind == "flat"
+
+    @property
+    def max_ranks(self) -> int:
+        """Largest MPI job this topology can place."""
+        return self.nnodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """The compute node hosting ``rank`` under the placement."""
+        if rank < 0 or rank >= self.max_ranks:
+            raise ValueError(
+                f"rank {rank} does not fit on {self.nnodes} node(s) x "
+                f"{self.ranks_per_node} rank(s)/node"
+            )
+        if self.placement == "cyclic":
+            return rank % self.nnodes
+        return rank // self.ranks_per_node
+
+    def describe(self) -> str:
+        """One-line summary for CLI output and reports."""
+        if self.is_flat:
+            return "flat (no link sharing)"
+        extra = ""
+        if self.kind == "fat-tree":
+            extra = f", {self.nodes_per_leaf} node(s)/leaf"
+        elif self.kind == "torus2d":
+            extra = f", {self.width}x{self.height}"
+        return (
+            f"{self.kind}: {self.nnodes} node(s){extra}, "
+            f"{self.ranks_per_node} rank(s)/node, {self.placement} placement, "
+            f"{len(self.links)} directed link(s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def flat() -> Topology:
+    """The degenerate topology: today's closed-form network model."""
+    return Topology(kind="flat", nnodes=1)
+
+
+def _both_ways(a: str, b: str, factor: float) -> tuple[Link, Link]:
+    return (Link(a, b, factor), Link(b, a, factor))
+
+
+def fat_tree(
+    nnodes: int,
+    *,
+    ranks_per_node: int = 1,
+    nodes_per_leaf: int = 4,
+    link_capacity_factor: float = 1.0,
+    uplink_capacity_factor: float | None = None,
+    placement: str = "block",
+    hop_latency: float = 0.0,
+) -> Topology:
+    """A two-tier fat tree over ``nnodes`` compute nodes.
+
+    Each node connects to its leaf switch at ``link_capacity_factor``;
+    each leaf connects to the single core switch at
+    ``uplink_capacity_factor`` (default ``nodes_per_leaf / 2`` times the
+    node link — a 2:1 taper, so a leaf's nodes can oversubscribe their
+    shared uplink).
+    """
+    if nnodes < 1:
+        raise ValueError("fat-tree needs at least one node")
+    if nodes_per_leaf < 1:
+        raise ValueError("nodes_per_leaf must be >= 1")
+    if uplink_capacity_factor is None:
+        uplink_capacity_factor = link_capacity_factor * max(1.0, nodes_per_leaf / 2)
+    nleaves = (nnodes + nodes_per_leaf - 1) // nodes_per_leaf
+    links: list[Link] = []
+    for node in range(nnodes):
+        leaf = node // nodes_per_leaf
+        links.extend(_both_ways(f"n{node}", f"sw{leaf}", link_capacity_factor))
+    if nleaves > 1:
+        for leaf in range(nleaves):
+            links.extend(_both_ways(f"sw{leaf}", "core", uplink_capacity_factor))
+    return Topology(
+        kind="fat-tree",
+        nnodes=nnodes,
+        links=tuple(links),
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        hop_latency=hop_latency,
+        nodes_per_leaf=nodes_per_leaf,
+    )
+
+
+def torus2d(
+    width: int,
+    height: int,
+    *,
+    ranks_per_node: int = 1,
+    link_capacity_factor: float = 1.0,
+    placement: str = "block",
+    hop_latency: float = 0.0,
+) -> Topology:
+    """A ``width x height`` 2D torus with full-duplex neighbor links.
+
+    Node ``(x, y)`` is ``n{y * width + x}``.  Wrap links close each
+    ring; a 1-wide or 1-high torus degenerates to a ring.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("torus dimensions must be >= 1")
+    links: list[Link] = []
+    seen: set[tuple[str, str]] = set()
+
+    def add(a: str, b: str) -> None:
+        if a == b or (a, b) in seen:
+            return
+        seen.add((a, b))
+        seen.add((b, a))
+        links.extend(_both_ways(a, b, link_capacity_factor))
+
+    for y in range(height):
+        for x in range(width):
+            me = f"n{y * width + x}"
+            add(me, f"n{y * width + (x + 1) % width}")
+            add(me, f"n{((y + 1) % height) * width + x}")
+    return Topology(
+        kind="torus2d",
+        nnodes=width * height,
+        links=tuple(links),
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        hop_latency=hop_latency,
+        width=width,
+        height=height,
+    )
+
+
+def make_topology(
+    kind: str,
+    nranks: int,
+    *,
+    ranks_per_node: int | None = None,
+    placement: str = "block",
+    **kwargs,
+) -> Topology:
+    """Build a topology of ``kind`` sized to hold ``nranks`` ranks.
+
+    The CLI entry point: picks node counts (and, for the torus, a
+    near-square factorization) automatically.  Extra ``kwargs`` forward
+    to the kind's factory.
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if kind == "flat":
+        return flat()
+    rpn = 1 if ranks_per_node is None else ranks_per_node
+    nnodes = (nranks + rpn - 1) // rpn
+    if kind == "fat-tree":
+        return fat_tree(
+            nnodes, ranks_per_node=rpn, placement=placement, **kwargs
+        )
+    if kind == "torus2d":
+        width = kwargs.pop("width", 0)
+        height = kwargs.pop("height", 0)
+        if not width or not height:
+            width = 1
+            for cand in range(int(nnodes ** 0.5), 0, -1):
+                if nnodes % cand == 0:
+                    width = cand
+                    break
+            height = nnodes // width
+        if width * height < nnodes:
+            raise ValueError("torus dimensions too small for the rank count")
+        return torus2d(
+            width, height, ranks_per_node=rpn, placement=placement, **kwargs
+        )
+    raise ValueError(f"unknown topology kind {kind!r}; known: {', '.join(TOPOLOGY_KINDS)}")

@@ -21,6 +21,11 @@ Each segment is blamed to a **resource**:
 ``wire``
     Serialization time on the fabric (including derated RMA/Bsend
     pushes).
+``contention``
+    Extra wire time caused by max-min bandwidth sharing on a non-flat
+    topology: the gap between a flow's contention-free drain time and
+    when it actually finished (zero on ``flat``, where the flow engine
+    is off).
 ``latency``
     Handshake and propagation delays (RTS/CTS flights, payload landing).
 ``overhead``
@@ -72,6 +77,7 @@ RESOURCES = (
     "unpack",
     "copy",
     "wire",
+    "contention",
     "latency",
     "overhead",
     "sync",
@@ -293,6 +299,12 @@ PERTURBATIONS: dict[str, Perturbation] = {
         label="zero-cost packing",
         scales={"pack": 0.0, "unpack": 0.0, "copy": 0.0},
         transform=_free_copies,
+    ),
+    "contention-free": Perturbation(
+        key="contention-free",
+        label="uncontended fabric (flat topology)",
+        scales={"contention": 0.0},
+        transform=lambda p: replace(p, topology=None),
     ),
 }
 

@@ -44,6 +44,11 @@ _CRITICAL_TID = 98
 #: as Chrome counter series instead of instant markers.
 _QUEUE_DEPTH = "queue.depth"
 
+#: Flat event category carrying per-link utilization samples from the
+#: flow engine (see :data:`repro.net.flows.LINK_UTIL_EVENT`); exported
+#: as one counter track per link.
+_LINK_UTIL = "link.util"
+
 
 def _json_safe(value: Any) -> Any:
     if isinstance(value, (bool, int, float, str)) or value is None:
@@ -123,6 +128,24 @@ def chrome_trace(
                     "args": {
                         "unexpected": _json_safe(event.get("unexpected", 0)),
                         "posted": _json_safe(event.get("posted", 0)),
+                    },
+                }
+            )
+            continue
+        if event.category == _LINK_UTIL:
+            # Fabric link utilization: one counter track per directed
+            # link, sampled at every flow-rate re-solve.
+            events.append(
+                {
+                    "name": f"link {event.get('link', '?')}",
+                    "cat": "net",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.time * 1e6,
+                    "args": {
+                        "utilization": _json_safe(event.get("utilization", 0.0)),
+                        "flows": _json_safe(event.get("flows", 0)),
                     },
                 }
             )

@@ -1,0 +1,94 @@
+"""Halo-exchange workload: spec validation, correctness, and pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.halo import HALO_SCHEMES, HaloSpec, halo_program
+from repro.mpi import run_mpi
+from repro.net import flat, make_topology
+
+
+SMALL = HaloSpec(nx=8, ny=6, ghost=2, iterations=1, materialize=True)
+
+
+class TestHaloSpec:
+    def test_geometry_properties(self):
+        assert SMALL.row_doubles == 10
+        assert SMALL.face_bytes == 8 * 2 * 8
+        assert SMALL.grid_bytes == 8 * 10 * 8
+
+    def test_with_scheme(self):
+        assert SMALL.with_scheme("copying").scheme == "copying"
+        assert SMALL.scheme == "vector"  # original untouched
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"scheme": "zero-copy"},
+            {"nx": 0},
+            {"ghost": 0},
+            {"ghost": 7},  # deeper than ny=6
+            {"iterations": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            HaloSpec(**{**{"nx": 8, "ny": 6, "ghost": 2}, **bad})
+
+
+class TestExchangeCorrectness:
+    @pytest.mark.parametrize("scheme", HALO_SCHEMES)
+    @pytest.mark.parametrize("nranks", [2, 3, 5])
+    def test_ghost_bands_verified(self, ideal, scheme, nranks):
+        program = halo_program(SMALL.with_scheme(scheme))
+        results = run_mpi(program, nranks=nranks, platform=ideal).results
+        for r in results:
+            assert r.time > 0.0
+            # reference is geometry-blind by design, so unverifiable.
+            assert r.verified is (None if scheme == "reference" else True)
+
+    def test_virtual_buffers_skip_verification(self, ideal):
+        spec = HaloSpec(nx=8, ny=6, ghost=2, iterations=1, materialize=False)
+        results = run_mpi(halo_program(spec), nranks=2, platform=ideal).results
+        assert all(r.verified is None for r in results)
+
+    def test_single_rank_rejected(self, ideal):
+        with pytest.raises(ValueError, match="2 ranks"):
+            run_mpi(halo_program(SMALL), nranks=1, platform=ideal)
+
+
+class TestHaloPricing:
+    # Big strided faces so scheme staging costs dominate latency.
+    SPEC = HaloSpec(nx=128, ny=32, ghost=4, iterations=2)
+
+    def _time(self, platform, scheme, nranks=4):
+        program = halo_program(self.SPEC.with_scheme(scheme))
+        return run_mpi(program, nranks=nranks, platform=platform).virtual_time
+
+    def test_reference_is_the_attainable_optimum(self, skx):
+        t_ref = self._time(skx, "reference")
+        for scheme in ("copying", "vector", "packing-vector"):
+            assert self._time(skx, scheme) >= t_ref
+
+    def test_flat_topology_is_bit_identical(self, skx):
+        with_flat = skx.with_topology(flat())
+        for scheme in HALO_SCHEMES:
+            assert self._time(skx, scheme) == self._time(with_flat, scheme)
+
+    def test_oversubscribed_fabric_slows_every_scheme(self, ideal):
+        topo = make_topology("fat-tree", 8, ranks_per_node=4, placement="cyclic")
+        contended = ideal.with_topology(topo)
+        for scheme in HALO_SCHEMES:
+            assert self._time(contended, scheme, nranks=8) > self._time(
+                ideal, scheme, nranks=8
+            )
+
+    def test_deterministic_across_runs(self, ideal):
+        topo = make_topology("fat-tree", 8, ranks_per_node=4, placement="cyclic")
+        platform = ideal.with_topology(topo)
+        program = halo_program(self.SPEC)
+        a = run_mpi(program, nranks=8, platform=platform)
+        b = run_mpi(program, nranks=8, platform=platform)
+        assert a.virtual_time == b.virtual_time
+        assert [r.time for r in a.results] == [r.time for r in b.results]

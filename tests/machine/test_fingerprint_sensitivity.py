@@ -1,0 +1,71 @@
+"""Fingerprint sensitivity: every pricing knob must move the digest.
+
+The exec cache keys cells on :meth:`Platform.fingerprint`; a model
+field that changes predicted times but not the digest would silently
+serve stale results.  Conversely the *flat* topology must NOT move the
+digest — it is defined as bit-identical to having no topology at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.machine import get_platform
+from repro.net import fat_tree, flat, make_topology, torus2d
+
+
+def _with_network(platform, **changes):
+    return replace(platform, network=replace(platform.network, **changes))
+
+
+class TestNetworkSensitivity:
+    def test_per_node_bandwidth_perturbs_digest(self, skx):
+        base = skx.fingerprint()
+        bumped = _with_network(
+            skx, per_node_bandwidth=skx.network.bandwidth * 1.5
+        )
+        assert bumped.fingerprint() != base
+
+    def test_bandwidth_and_latency_perturb_digest(self, skx):
+        base = skx.fingerprint()
+        assert _with_network(skx, bandwidth=skx.network.bandwidth * 2).fingerprint() != base
+        assert _with_network(skx, latency=skx.network.latency * 2).fingerprint() != base
+
+    def test_fingerprint_is_stable(self, skx):
+        assert skx.fingerprint() == get_platform("skx-impi").fingerprint()
+
+
+class TestTopologySensitivity:
+    def test_flat_topology_keeps_digest(self, ideal):
+        base = ideal.fingerprint()
+        assert ideal.with_topology(None).fingerprint() == base
+        assert ideal.with_topology(flat()).fingerprint() == base
+
+    def test_nonflat_topology_perturbs_digest(self, ideal):
+        base = ideal.fingerprint()
+        assert ideal.with_topology(fat_tree(8)).fingerprint() != base
+        assert ideal.with_topology(torus2d(4, 2)).fingerprint() != base
+
+    def test_structure_parameters_perturb_digest(self, ideal):
+        prints = {
+            ideal.with_topology(t).fingerprint()
+            for t in (
+                fat_tree(8, nodes_per_leaf=4),
+                fat_tree(8, nodes_per_leaf=2),
+                fat_tree(8, nodes_per_leaf=4, ranks_per_node=4),
+                fat_tree(8, nodes_per_leaf=4, placement="cyclic"),
+                fat_tree(8, nodes_per_leaf=4, uplink_capacity_factor=1.0),
+                fat_tree(8, nodes_per_leaf=4, hop_latency=1e-7),
+                torus2d(4, 2),
+                torus2d(2, 4),
+            )
+        }
+        assert len(prints) == 8  # every structural change is its own key
+
+    def test_make_topology_round_trips_digest(self, ideal):
+        a = make_topology("fat-tree", 16, ranks_per_node=4, placement="cyclic")
+        b = make_topology("fat-tree", 16, ranks_per_node=4, placement="cyclic")
+        assert (
+            ideal.with_topology(a).fingerprint()
+            == ideal.with_topology(b).fingerprint()
+        )

@@ -1,0 +1,150 @@
+"""Topology graph construction, rank placement, and routing invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    TOPOLOGY_KINDS,
+    Router,
+    fat_tree,
+    flat,
+    make_topology,
+    torus2d,
+)
+
+
+class TestFlat:
+    def test_is_flat_and_empty(self):
+        topo = flat()
+        assert topo.is_flat
+        assert topo.kind == "flat"
+        assert topo.links == ()
+        # Flat is never placement-checked; its nominal capacity is one node.
+        assert topo.max_ranks == 1
+
+    def test_flat_routes_are_empty(self):
+        router = Router(flat())
+        assert router.route(0, 0) == ()
+        assert router.route(0, 5) == ()
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        topo = fat_tree(4, ranks_per_node=2, placement="block")
+        assert [topo.node_of(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_cyclic_placement(self):
+        topo = fat_tree(4, ranks_per_node=2, placement="cyclic")
+        assert [topo.node_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_max_ranks(self):
+        topo = fat_tree(4, ranks_per_node=2)
+        assert topo.max_ranks == 8
+
+    def test_rank_out_of_range_rejected(self):
+        topo = fat_tree(2, ranks_per_node=1)
+        with pytest.raises(ValueError):
+            topo.node_of(2)
+
+
+class TestFatTree:
+    def test_single_leaf_has_no_core(self):
+        topo = fat_tree(4, nodes_per_leaf=4)
+        names = {l.src for l in topo.links} | {l.dst for l in topo.links}
+        assert not any(n == "core" for n in names)
+
+    def test_multi_leaf_has_core_uplinks(self):
+        topo = fat_tree(8, nodes_per_leaf=4)
+        names = {l.src for l in topo.links} | {l.dst for l in topo.links}
+        assert "core" in names
+
+    def test_default_uplink_taper(self):
+        # Default 2:1 taper: uplink factor = node factor * nodes_per_leaf/2.
+        topo = fat_tree(8, nodes_per_leaf=4, link_capacity_factor=1.0)
+        up = [l for l in topo.links if l.src == "core" or l.dst == "core"]
+        assert up and all(l.capacity_factor == pytest.approx(2.0) for l in up)
+
+    def test_same_leaf_route_is_two_hops(self):
+        topo = fat_tree(8, nodes_per_leaf=4)
+        router = Router(topo)
+        assert router.hops(0, 1) == 2
+
+    def test_cross_leaf_route_is_four_hops(self):
+        topo = fat_tree(8, nodes_per_leaf=4)
+        router = Router(topo)
+        assert router.hops(0, 7) == 4
+
+    def test_routes_reference_real_links(self):
+        topo = fat_tree(8, nodes_per_leaf=4)
+        router = Router(topo)
+        for src in range(8):
+            for dst in range(8):
+                if src == dst:
+                    assert router.route(src, dst) == ()
+                    continue
+                for idx in router.route(src, dst):
+                    assert 0 <= idx < len(topo.links)
+
+    def test_route_cached_and_deterministic(self):
+        topo = fat_tree(8)
+        router = Router(topo)
+        assert router.route(1, 6) is router.route(1, 6)
+        assert router.route(1, 6) == Router(topo).route(1, 6)
+
+
+class TestTorus2d:
+    def test_node_count(self):
+        topo = torus2d(4, 3)
+        assert topo.nnodes == 12
+
+    def test_small_torus_deduplicates_wrap_links(self):
+        # On a width-2 ring the wrap link and the direct link coincide.
+        topo = torus2d(2, 2)
+        pairs = {frozenset((l.src, l.dst)) for l in topo.links}
+        assert len(pairs) == 4  # full-duplex: two directed links each
+        assert len(topo.links) == 8
+
+    def test_dimension_order_route_length(self):
+        topo = torus2d(4, 4)
+        router = Router(topo)
+        # (0,0) -> (2,1): 2 hops in x (either way) + 1 in y.
+        assert router.hops(0, 4 * 1 + 2) == 3
+
+    def test_wrap_is_shorter(self):
+        topo = torus2d(5, 1)
+        router = Router(topo)
+        # 0 -> 4 wraps backwards in one hop instead of four forward.
+        assert router.hops(0, 4) == 1
+
+    def test_routes_are_symmetric_in_length(self):
+        topo = torus2d(4, 3)
+        router = Router(topo)
+        for src in range(12):
+            for dst in range(12):
+                assert router.hops(src, dst) == router.hops(dst, src)
+
+
+class TestMakeTopology:
+    def test_kinds_listed(self):
+        assert set(TOPOLOGY_KINDS) == {"flat", "fat-tree", "torus2d"}
+
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_fits_requested_ranks(self, kind):
+        topo = make_topology(kind, 10, ranks_per_node=4)
+        assert topo.kind == kind
+        if not topo.is_flat:
+            assert topo.max_ranks >= 10
+
+    def test_node_count_is_ceiling(self):
+        topo = make_topology("fat-tree", 9, ranks_per_node=4)
+        assert topo.nnodes == 3
+
+    def test_torus_is_near_square(self):
+        topo = make_topology("torus2d", 12, ranks_per_node=1)
+        assert topo.width * topo.height >= 12
+        assert abs(topo.width - topo.height) <= max(topo.width, topo.height) // 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology("dragonfly", 8)
