@@ -11,6 +11,7 @@ claims               run the claim checks against a fresh sweep
 report               regenerate EXPERIMENTS.md (all figures + experiments)
 trace                print the protocol timeline of one ping-pong
 explain              critical-path verdicts: bounding resource + what-ifs
+advise               price every send scheme for a layout, recommend one
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from .analysis.claims import check_platform_claims
 from .analysis.figures import FIGURES, generate_figure
 from .analysis.report import build_report
 from .analysis.tables import render_table
-from .core.schemes import PAPER_ORDER, SCHEME_CLASSES
+from .core.schemes import ALL_SCHEME_KEYS, PAPER_ORDER, SCHEME_CLASSES
 from .core.sweep import SweepConfig, default_message_sizes
 from .core.timing import TimingPolicy
 from .core.runner import run_sweep
@@ -68,7 +69,7 @@ def cmd_platforms(args: argparse.Namespace) -> int:
 
 
 def cmd_schemes(args: argparse.Namespace) -> int:
-    for key in PAPER_ORDER:
+    for key in ALL_SCHEME_KEYS:
         cls = SCHEME_CLASSES[key]
         doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
         print(f"{key:18s} {cls.label:12s} {doc}")
@@ -213,6 +214,27 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_advise(args: argparse.Namespace) -> int:
+    from .core.layout import IrregularLayout, strided_for_bytes
+    from .mpi.datatypes.ir import advise_datatype
+
+    base = strided_for_bytes(args.bytes, blocklen=args.blocklen, stride=args.stride)
+    if args.datatype == "indexed":
+        layout = IrregularLayout(nblocks=base.nblocks, blocklen=base.blocklen,
+                                 stride=base.stride, jitter=args.jitter)
+        dtype = layout.make_datatype()
+    elif args.datatype == "subarray":
+        dtype = base.make_subarray_datatype()
+    else:
+        dtype = base.make_datatype()
+    try:
+        advice = advise_datatype(dtype, count=args.count, platform=args.platform)
+    finally:
+        dtype.free()
+    print(advice.render())
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from .analysis.compare import compare_sweeps
     from .core.results import SweepResult
@@ -282,7 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--per-decade", type=int, default=2)
         p.add_argument("--iterations", type=int, default=20)
         p.add_argument("--no-flush", action="store_true", help="skip inter-ping-pong cache flush")
-        p.add_argument("--schemes", nargs="*", choices=list(PAPER_ORDER), default=None)
+        p.add_argument("--schemes", nargs="*", choices=list(ALL_SCHEME_KEYS), default=None)
         p.add_argument("--verbose", "-v", action="store_true")
         add_exec_options(p)
 
@@ -314,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_claims)
 
     p = sub.add_parser("trace", help="print the protocol timeline of one ping-pong")
-    p.add_argument("scheme", choices=list(PAPER_ORDER))
+    p.add_argument("scheme", choices=list(ALL_SCHEME_KEYS))
     p.add_argument("--platform", default="skx-impi", choices=list_platforms())
     p.add_argument("--bytes", type=int, default=1_000_000)
     p.add_argument("--json", metavar="PATH", default=None,
@@ -331,12 +353,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--platform", default="skx-impi", choices=list_platforms())
     p.add_argument("--bytes", type=int, default=1_000_000)
-    p.add_argument("--schemes", nargs="*", choices=list(PAPER_ORDER), default=None)
+    p.add_argument("--schemes", nargs="*", choices=list(ALL_SCHEME_KEYS), default=None)
     p.add_argument("--path", action="store_true",
                    help="also print the full critical-path segment table")
     p.add_argument("--validate", action="store_true",
                    help="re-run each what-if on the perturbed platform and report error")
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser(
+        "advise",
+        help="price every send scheme for a layout and recommend the cheapest",
+    )
+    p.add_argument("--platform", default="skx-impi", choices=list_platforms())
+    p.add_argument("--bytes", type=int, default=1_000_000)
+    p.add_argument("--datatype", choices=("vector", "subarray", "indexed"),
+                   default="vector",
+                   help="derived-type family describing the layout")
+    p.add_argument("--blocklen", type=int, default=1, metavar="DOUBLES")
+    p.add_argument("--stride", type=int, default=None, metavar="DOUBLES",
+                   help="block-to-block stride (default: 2 x blocklen)")
+    p.add_argument("--jitter", type=float, default=0.5,
+                   help="displacement jitter in [0, 1) for --datatype indexed")
+    p.add_argument("--count", type=int, default=1,
+                   help="datatype count, as in MPI_Send(..., count, type, ...)")
+    p.set_defaults(fn=cmd_advise)
 
     p = sub.add_parser("compare", help="compare two saved sweep JSON files")
     p.add_argument("sweep_a")

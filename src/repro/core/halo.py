@@ -30,6 +30,10 @@ Schemes (``HALO_SCHEMES``) map to the paper's families:
     ``MPI_Pack`` of the face datatype into a contiguous buffer, a
     contiguous send, and ``MPI_Unpack`` on the receiving side
     (section 2.6).
+``auto``
+    Cost-driven: the IR selector prices the face datatype on the
+    platform and delegates to the cheapest *delivering* scheme above
+    (``reference`` is geometry-blind and never a candidate).
 """
 
 from __future__ import annotations
@@ -45,7 +49,11 @@ from ..mpi.datatypes import DOUBLE, Datatype, make_subarray
 __all__ = ["HALO_SCHEMES", "HaloSpec", "HaloRankResult", "halo_program"]
 
 #: Scheme keys accepted by :class:`HaloSpec`, report order.
-HALO_SCHEMES = ("reference", "copying", "vector", "packing-vector")
+HALO_SCHEMES = ("reference", "copying", "vector", "packing-vector", "auto")
+
+#: What ``auto`` may resolve to: every halo scheme that honours the
+#: face geometry.
+_AUTO_CANDIDATES = ("copying", "vector", "packing-vector")
 
 #: Message tags: a face traveling toward the west/east neighbor.
 _TAG_TO_WEST = 21
@@ -108,6 +116,8 @@ class HaloRankResult:
     #: Ghost-band verification outcome (``None`` when not applicable:
     #: virtual buffers, or the geometry-blind ``reference`` scheme).
     verified: bool | None
+    #: The delivering scheme (differs from the spec only for ``auto``).
+    chosen: str | None = None
 
 
 class _Faces:
@@ -246,6 +256,22 @@ _EXCHANGES = {
 }
 
 
+def _resolve_auto(comm: Comm, spec: HaloSpec) -> str:
+    """Price the face datatype on this platform and pick the cheapest
+    delivering scheme — pure host-side arithmetic, no virtual time."""
+    from ..mpi.datatypes.ir import advise_datatype
+
+    face = make_subarray(
+        [spec.nx, spec.row_doubles], [spec.nx, spec.ghost], [0, spec.ghost], DOUBLE
+    )
+    try:
+        return advise_datatype(
+            face, platform=comm.world.platform, candidates=_AUTO_CANDIDATES
+        ).chosen
+    finally:
+        face.free()
+
+
 def halo_program(spec: HaloSpec):
     """Build the per-rank program for :func:`repro.mpi.runtime.run_mpi`.
 
@@ -254,11 +280,13 @@ def halo_program(spec: HaloSpec):
     :class:`HaloRankResult`.  Needs ``nranks >= 2`` (the ring neighbors
     must be distinct processes).
     """
-    exchange = _EXCHANGES[spec.scheme]
-
     def main(comm: Comm) -> HaloRankResult:
         if comm.size < 2:
             raise ValueError("halo exchange needs at least 2 ranks")
+        # ``auto`` resolves per platform at setup; every rank computes
+        # the same deterministic choice.
+        chosen = _resolve_auto(comm, spec) if spec.scheme == "auto" else spec.scheme
+        exchange = _EXCHANGES[chosen]
         faces = _Faces(comm, spec)
         grid = _make_grid(comm, spec)
         # Contiguous staging buffers for the schemes that need them
@@ -275,6 +303,8 @@ def halo_program(spec: HaloSpec):
         elapsed = comm.Wtime() - t0
         verified = _verify(grid, faces, spec)
         faces.free()
-        return HaloRankResult(rank=comm.rank, time=elapsed, verified=verified)
+        return HaloRankResult(
+            rank=comm.rank, time=elapsed, verified=verified, chosen=chosen
+        )
 
     return main

@@ -109,8 +109,11 @@ def run_pingpong(
 
         def phase(name: str, **attrs):
             if tracing:
+                # span_attrs is evaluated per span: the auto scheme
+                # reports its resolved delegate once setup has chosen it.
                 return world.span(name, rank=comm.rank, category="scheme",
-                                  scheme=sender_scheme.key, **attrs)
+                                  scheme=sender_scheme.key,
+                                  **sender_scheme.span_attrs(), **attrs)
             return nullcontext()
 
         if comm.rank == 0:

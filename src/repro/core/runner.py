@@ -61,6 +61,16 @@ def run_sweep(
             "layout_factory": config.layout_factory_id,
         },
     )
+    if "auto" in config.schemes:
+        # Record what auto resolves to at every size — the choice is
+        # deterministic host-side arithmetic, so this is provenance, not
+        # a measurement.
+        from ..mpi.datatypes.ir import select_scheme
+
+        result.metadata["auto_choices"] = {
+            str(size): select_scheme(config.layout_for(size), platform)
+            for size in config.sizes
+        }
     specs = [
         CellSpec(
             scheme=scheme_key,

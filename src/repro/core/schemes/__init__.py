@@ -18,6 +18,7 @@ packing-vector      packing(v)
 
 from __future__ import annotations
 
+from .auto import AutoScheme
 from .base import PING_TAG, PONG_TAG, SchemeContext, SendScheme
 from .buffered import BufferedScheme
 from .copying import CopyingScheme
@@ -33,6 +34,7 @@ __all__ = [
     "SchemeContext",
     "PING_TAG",
     "PONG_TAG",
+    "AutoScheme",
     "ReferenceScheme",
     "CopyingScheme",
     "BufferedScheme",
@@ -58,6 +60,7 @@ SCHEME_CLASSES: dict[str, type[SendScheme]] = {
         OneSidedScheme,
         PackingElementScheme,
         PackingVectorScheme,
+        AutoScheme,
     )
 }
 
@@ -73,7 +76,10 @@ PAPER_ORDER: tuple[str, ...] = (
     "packing-vector",
 )
 
-ALL_SCHEME_KEYS: tuple[str, ...] = PAPER_ORDER
+#: Every instantiable scheme key: the paper's eight plus the
+#: cost-driven ``auto`` delegate.  ``PAPER_ORDER`` stays the figure
+#: legend; ``auto`` never appears in the paper's figures.
+ALL_SCHEME_KEYS: tuple[str, ...] = PAPER_ORDER + ("auto",)
 
 
 def make_scheme(key: str) -> SendScheme:
@@ -82,6 +88,6 @@ def make_scheme(key: str) -> SendScheme:
     try:
         cls = SCHEME_CLASSES[key]
     except KeyError:
-        known = ", ".join(PAPER_ORDER)
+        known = ", ".join(ALL_SCHEME_KEYS)
         raise KeyError(f"unknown scheme {key!r}; known schemes: {known}") from None
     return cls()

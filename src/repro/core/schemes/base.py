@@ -84,6 +84,11 @@ class SendScheme:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def span_attrs(self) -> dict[str, str]:
+        """Extra attributes for this scheme's tracing spans (the auto
+        scheme reports its resolved delegate here)."""
+        return {}
+
     def _recv_pong(self, comm: Comm) -> None:
         comm.Recv(self._pong, source=1, tag=PONG_TAG, count=0)
 

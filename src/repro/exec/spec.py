@@ -101,9 +101,17 @@ class CellSpec:
         function, so a cached outcome yields the same stats bit for bit
         as the original run.
         """
+        scheme_obj = make_scheme(self.scheme)
+        if hasattr(scheme_obj, "resolve_label"):
+            # The auto scheme's label depends on (layout, platform);
+            # resolution is deterministic host-side arithmetic, so a
+            # cached cell re-derives the same label as a fresh run.
+            label = scheme_obj.resolve_label(self.layout, self.platform)
+        else:
+            label = scheme_obj.label
         return PingPongResult(
             scheme=self.scheme,
-            label=make_scheme(self.scheme).label,
+            label=label,
             message_bytes=self.layout.message_bytes,
             stats=summarize(list(outcome.times), self.policy.dismiss_sigma),
             verified=outcome.verified,

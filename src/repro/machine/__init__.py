@@ -17,6 +17,7 @@ from .memory import CopyCost, MemoryModel
 from .network import NetworkModel
 from .noise import NoiseModel
 from .platform import Platform
+from .pricing import PRICED_SCHEMES, SchemePricer
 from .registry import (
     PAPER_PLATFORMS,
     build_custom_platform,
@@ -43,6 +44,8 @@ __all__ = [
     "NetworkModel",
     "NoiseModel",
     "Platform",
+    "PRICED_SCHEMES",
+    "SchemePricer",
     "MpiTuning",
     "PAPER_PLATFORMS",
     "build_custom_platform",

@@ -8,7 +8,10 @@ them next to the measured values.
 
 All predictions are for one ping-pong of ``nbytes`` payload in the
 paper's harness (zero-byte pong, cold caches, stride-2 double layout),
-ignoring sub-microsecond per-call constants unless stated.
+ignoring sub-microsecond per-call constants unless stated.  The
+layout-generic arithmetic lives in :class:`~repro.machine.pricing.
+SchemePricer`; this class pins it to ``stride2_pattern`` — the two are
+bit-identical for the paper's layout.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from dataclasses import dataclass
 
 from .access import AccessPattern
 from .platform import Platform
+from .pricing import SchemePricer
 
 __all__ = ["AnalyticModel", "stride2_pattern"]
 
@@ -39,130 +43,74 @@ class AnalyticModel:
 
     platform: Platform
 
+    @property
+    def _pricer(self) -> SchemePricer:
+        return SchemePricer(self.platform)
+
     # ------------------------------------------------------------------
     # Building blocks
     # ------------------------------------------------------------------
     def overheads(self) -> float:
-        """Per ping-pong fixed software cost on the critical path.
-
-        Each of the two messages exposes one call overhead (the send
-        side's) plus the network send and receive overheads; the
-        receive-posting calls happen while the message is in flight and
-        hide completely."""
-        net = self.platform.network
-        cpu = self.platform.cpu
-        return 2 * (cpu.call_overhead + net.send_overhead + net.recv_overhead)
+        """Per ping-pong fixed software cost on the critical path."""
+        return self._pricer.overheads()
 
     def wire(self, nbytes: int) -> float:
-        return self.platform.network.wire_time(nbytes)
+        return self._pricer.wire(nbytes)
 
     def gather_time(self, nbytes: int, *, internal: bool = False) -> float:
         """Cold gather of the stride-2 layout, optionally through the
         library's internal staging (large-message penalty)."""
-        pattern = stride2_pattern(nbytes)
-        base = self.platform.memory.gather_cost(pattern, warm=False).total
-        tuning = self.platform.tuning
-        if internal and nbytes > tuning.large_message_threshold:
-            chunks = -(-nbytes // tuning.internal_chunk_bytes)
-            return base / tuning.large_message_bw_factor + chunks * tuning.chunk_bookkeeping
-        return base
+        return self._pricer.gather_time(stride2_pattern(nbytes), internal=internal)
 
     def transport_time(self, nbytes: int, *, packed: bool = False,
                        derived: bool = False, wire_factor: float = 1.0) -> float:
         """One-way delivery: protocol handshakes + serialization +
         receiver-side eager bounce where applicable."""
-        net = self.platform.network
-        tuning = self.platform.tuning
-        if tuning.uses_eager(nbytes, packed=packed, derived=derived):
-            bounce = (
-                self.platform.memory.contiguous_copy_cost(nbytes, warm=True)
-                if tuning.eager_bounce_copy
-                else 0.0
-            )
-            return net.latency + self.wire(nbytes) / wire_factor + bounce
-        hops = 1 + tuning.rendezvous_extra_hops  # RTS + CTS + data
-        return (
-            hops * net.latency
-            + tuning.rendezvous_overhead
-            + self.wire(nbytes) / wire_factor
+        return self._pricer.transport_time(
+            nbytes, packed=packed, derived=derived, wire_factor=wire_factor
         )
 
     def pong_time(self) -> float:
         """The zero-byte return message."""
-        return self.platform.network.latency
+        return self._pricer.pong_time()
 
     # ------------------------------------------------------------------
     # Per-scheme ping-pong predictions
     # ------------------------------------------------------------------
     def reference(self, nbytes: int) -> float:
         """Section 2.1: proportionality constant 1 (wire only)."""
-        return self.overheads() + self.transport_time(nbytes) + self.pong_time()
+        return self._pricer.reference(stride2_pattern(nbytes))
 
     def copying(self, nbytes: int) -> float:
         """Section 2.2: a user gather, then the contiguous send."""
-        return self.gather_time(nbytes) + self.reference(nbytes)
+        return self._pricer.copying(stride2_pattern(nbytes))
 
     def vector(self, nbytes: int) -> float:
         """Section 2.3: internal staging, then the transport (with the
         large-message penalty and any derived-type protocol quirks)."""
-        return (
-            self.overheads()
-            + self.gather_time(nbytes, internal=True)
-            + self.transport_time(nbytes, derived=True)
-            + self.pong_time()
-        )
+        return self._pricer.vector(stride2_pattern(nbytes))
 
     def packing_vector(self, nbytes: int) -> float:
         """Section 2.6 packing(v): a user-space MPI_Pack (as efficient
         as the copy loop) plus a PACKED contiguous send."""
-        pack = self.gather_time(nbytes) / self.platform.tuning.pack_bw_factor
-        pack += self.platform.cpu.pack_element_overhead + self.platform.cpu.call_overhead
-        return self.overheads() + pack + self.transport_time(nbytes, packed=True) + self.pong_time()
+        return self._pricer.packing_vector(stride2_pattern(nbytes))
 
     def packing_element(self, nbytes: int) -> float:
         """Section 2.6 packing(e): packing(v) plus one call overhead per
         element."""
-        ncalls = nbytes // 8
-        return self.packing_vector(nbytes) + (ncalls - 1) * self.platform.cpu.pack_element_overhead
+        return self._pricer.packing_element(stride2_pattern(nbytes), nbytes // 8)
 
     def buffered(self, nbytes: int) -> float:
         """Section 2.4: a gather into the attached buffer, then a dense
         transfer at the buffered-send bandwidth derating (which includes
         the large-message factor — Bsend does not escape it)."""
-        tuning = self.platform.tuning
-        factor = tuning.bsend_bw_factor
-        if nbytes > tuning.large_message_threshold:
-            factor *= tuning.large_message_bw_factor
-        return (
-            self.overheads()
-            + self.gather_time(nbytes)
-            + self.transport_time(nbytes, wire_factor=factor)
-            + self.pong_time()
-        )
+        return self._pricer.buffered(stride2_pattern(nbytes))
 
     def onesided(self, nbytes: int) -> float:
         """Section 2.5: staging at Put, transfer drained at the closing
         fence at the one-sided bandwidth factor, plus the fence
         synchronization fee — no pong message."""
-        tuning = self.platform.tuning
-        net = self.platform.network
-        cpu = self.platform.cpu
-        factor = (
-            tuning.onesided_large_bw_factor
-            if nbytes > tuning.large_message_threshold
-            else tuning.onesided_bw_factor
-        )
-        fence = tuning.fence_base + 2 * tuning.fence_per_rank
-        # Put call + staging, then at the fence: drain (wire + latency)
-        # and the synchronization fee; the fence call itself adds one
-        # overhead.
-        return (
-            2 * cpu.call_overhead
-            + self.gather_time(nbytes, internal=True)
-            + self.wire(nbytes) / factor
-            + net.latency
-            + fence
-        )
+        return self._pricer.onesided(stride2_pattern(nbytes))
 
     def predicted_copying_slowdown(self) -> float:
         """The asymptotic copying slowdown — the paper's 'factor of

@@ -1,0 +1,249 @@
+"""Rewrite passes: naive IR → canonical IR, one verified step at a time.
+
+Every pass is a pure function ``Program -> Program`` with the same
+equivalence invariant: the program's *normalized segments* (see
+:func:`~repro.mpi.datatypes.ir.ops.normalized_segments`) are unchanged,
+so the rewritten program gathers and scatters byte-identical streams.
+Each pass is also idempotent, and the full pipeline terminates: any
+accepted rewrite strictly decreases the lexicographic measure
+``(op count, op-kind rank sum, total block count)`` — with
+Copy < Strided < Indexed — so a fixed point is reached within a
+bounded number of rounds.  (The third component covers
+:func:`fold_contiguous` merging blocks *inside* one ``IndexedOp``,
+which changes neither op count nor kind.)
+
+The four passes:
+
+* :func:`coalesce_copies` — run coalescing: byte-adjacent ``CopyOp``
+  pairs merge into one.
+* :func:`collapse_strides` — stride collapse: degenerate strided and
+  indexed ops demote to the simplest kind that represents them.
+* :func:`rows_to_vector` — subarray→vector: a train of equal rows at a
+  uniform stride fuses into one ``StridedOp``; strided trains that
+  continue each other merge.
+* :func:`fold_contiguous` — contiguous folding: blocks inside an
+  ``IndexedOp`` that are byte-adjacent *in order* merge; a fully dense
+  result becomes a single ``CopyOp``.
+
+:func:`run_pipeline` iterates all four to a fixed point.  Given a
+platform it additionally *cost-guards* every rewrite: a pass result is
+accepted only if the modeled cold-gather cost does not increase, so
+priced-cost monotonicity holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ....machine.platform import Platform
+from ..runs import runs_from_blocks
+from .lower import _run_to_op
+from .ops import CopyOp, IndexedOp, Op, Program, StridedOp
+
+__all__ = [
+    "ConvergenceError",
+    "PASSES",
+    "PipelineResult",
+    "coalesce_copies",
+    "collapse_strides",
+    "fold_contiguous",
+    "program_cost",
+    "rows_to_vector",
+    "run_pipeline",
+]
+
+
+class ConvergenceError(RuntimeError):
+    """The pass pipeline failed to reach a fixed point within bounds."""
+
+
+def coalesce_copies(program: Program) -> Program:
+    """Merge byte-adjacent ``CopyOp`` pairs, in op order.
+
+    Invariant: normalized segments unchanged (adjacency merging is
+    exactly what normalization does)."""
+    out: list[Op] = []
+    for op in program.ops:
+        prev = out[-1] if out else None
+        if (
+            isinstance(op, CopyOp)
+            and isinstance(prev, CopyOp)
+            and prev.offset + prev.length == op.offset
+        ):
+            out[-1] = CopyOp(prev.offset, prev.length + op.length)
+        else:
+            out.append(op)
+    return program.replace(out)
+
+
+def _simplify_strided(op: StridedOp) -> Op:
+    """The simplest op kind representing a strided train."""
+    if op.count == 1:
+        return CopyOp(op.offset, op.blocklen)
+    if op.stride == op.blocklen:
+        return CopyOp(op.offset, op.count * op.blocklen)
+    return op
+
+
+def collapse_strides(program: Program) -> Program:
+    """Demote degenerate ops to the simplest kind that represents them:
+    single-block or dense ``StridedOp`` → ``CopyOp``; an ``IndexedOp``
+    with uniform lengths and spacing → ``StridedOp`` (simplified
+    further if degenerate); a single-block ``IndexedOp`` → ``CopyOp``.
+
+    Invariant: normalized segments unchanged (only the representation
+    of each op changes, never its segment list, except dense trains
+    whose segments were already adjacent)."""
+    out: list[Op] = []
+    for op in program.ops:
+        if isinstance(op, StridedOp):
+            op = _simplify_strided(op)
+        elif isinstance(op, IndexedOp):
+            if op.nblocks == 1:
+                op = CopyOp(int(op.offsets[0]), int(op.lengths[0]))
+            else:
+                lengths = op.lengths
+                gaps = np.diff(op.offsets)
+                if (
+                    np.all(lengths == lengths[0])
+                    and np.all(gaps == gaps[0])
+                    and abs(int(gaps[0])) >= int(lengths[0])
+                ):
+                    op = _simplify_strided(
+                        StridedOp(
+                            int(op.offsets[0]), op.nblocks, int(lengths[0]), int(gaps[0])
+                        )
+                    )
+        out.append(op)
+    return program.replace(out)
+
+
+def rows_to_vector(program: Program) -> Program:
+    """Fuse a train of ≥2 equal-length ``CopyOp`` rows at one uniform,
+    non-overlapping spacing into a single ``StridedOp`` (the
+    subarray→vector rewrite), then merge consecutive ``StridedOp``s
+    that continue the same arithmetic progression.
+
+    Invariant: normalized segments unchanged (the fused train yields
+    the identical segment sequence; merging preserves it likewise)."""
+    # Stage 1: greedy maximal CopyOp trains → StridedOp.
+    fused: list[Op] = []
+    i = 0
+    ops = program.ops
+    while i < len(ops):
+        op = ops[i]
+        if isinstance(op, CopyOp):
+            j = i + 1
+            stride = None
+            while j < len(ops):
+                nxt = ops[j]
+                if not (isinstance(nxt, CopyOp) and nxt.length == op.length):
+                    break
+                gap = nxt.offset - ops[j - 1].offset
+                if abs(gap) < op.length:
+                    break  # overlapping or zero gap: not a legal train
+                if stride is None:
+                    stride = gap
+                elif gap != stride:
+                    break
+                j += 1
+            if j - i >= 2 and stride is not None and stride != op.length:
+                fused.append(StridedOp(op.offset, j - i, op.length, stride))
+                i = j
+                continue
+        fused.append(op)
+        i += 1
+    # Stage 2: merge StridedOps continuing one progression (greedy
+    # left fold, so whole chains merge in a single application).
+    out: list[Op] = []
+    for op in fused:
+        prev = out[-1] if out else None
+        if (
+            isinstance(op, StridedOp)
+            and isinstance(prev, StridedOp)
+            and prev.blocklen == op.blocklen
+            and prev.stride == op.stride
+            and op.offset == prev.offset + prev.count * prev.stride
+        ):
+            out[-1] = StridedOp(prev.offset, prev.count + op.count, prev.blocklen, prev.stride)
+        else:
+            out.append(op)
+    return program.replace(out)
+
+
+def fold_contiguous(program: Program) -> Program:
+    """Merge blocks inside each ``IndexedOp`` that are byte-adjacent in
+    pack order; re-represent the result in the most compact kind (a
+    fully dense block list becomes one ``CopyOp``).
+
+    Invariant: normalized segments unchanged (in-order adjacency
+    merging is the normalization rule itself)."""
+    out: list[Op] = []
+    for op in program.ops:
+        if isinstance(op, IndexedOp):
+            out.extend(_run_to_op(run) for run in runs_from_blocks(op.offsets, op.lengths))
+        else:
+            out.append(op)
+    return program.replace(out)
+
+
+#: The full pipeline, in application order.
+PASSES: tuple[Callable[[Program], Program], ...] = (
+    coalesce_copies,
+    collapse_strides,
+    rows_to_vector,
+    fold_contiguous,
+)
+
+#: Safety bound on pipeline rounds; the measure argument above makes
+#: real programs converge in a handful.
+MAX_ROUNDS = 64
+
+
+def program_cost(program: Program, platform: Platform) -> float:
+    """The modeled cold-gather cost of the program's footprint — the
+    quantity the cost guard keeps monotone."""
+    return platform.memory.gather_cost(program.pattern(), warm=False).total
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """A canonicalized program plus how it got there."""
+
+    program: Program
+    trail: tuple[str, ...]
+    rounds: int
+
+
+def run_pipeline(program: Program, *, platform: Platform | None = None,
+                 max_rounds: int = MAX_ROUNDS) -> PipelineResult:
+    """Iterate all passes to a fixed point.
+
+    With a ``platform``, every pass result is cost-guarded: it is
+    accepted only if :func:`program_cost` does not increase, so the
+    canonical program is never priced worse than the naive one."""
+    trail: list[str] = []
+    current = program
+    cost = program_cost(current, platform) if platform is not None else None
+    for round_no in range(1, max_rounds + 1):
+        before = current
+        for pass_fn in PASSES:
+            candidate = pass_fn(current)
+            if candidate.ops == current.ops:
+                continue
+            if platform is not None:
+                candidate_cost = program_cost(candidate, platform)
+                if candidate_cost > cost:
+                    continue
+                cost = candidate_cost
+            trail.append(pass_fn.__name__)
+            current = candidate
+        if current.ops == before.ops:
+            return PipelineResult(current, tuple(trail), round_no)
+    raise ConvergenceError(
+        f"pipeline did not reach a fixed point within {max_rounds} rounds "
+        f"for {program.source!r}"
+    )

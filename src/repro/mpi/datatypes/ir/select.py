@@ -1,0 +1,191 @@
+"""Cost-driven scheme selection over the canonical IR.
+
+``advise_datatype`` lowers a derived datatype, canonicalizes it through
+the (cost-guarded) pass pipeline, summarizes the result as an
+:class:`~repro.machine.access.AccessPattern`, and prices every
+candidate send scheme through :class:`~repro.machine.pricing.
+SchemePricer` — the same closed forms the analytic model uses for the
+paper's layout, generalized to any pattern.  The cheapest candidate is
+the advice; the ``auto`` scheme (``repro.core.schemes.auto``) and the
+``repro advise`` CLI are thin wrappers over it.
+
+``reference`` is priced for the slowdown column but never a candidate:
+it sends an already-contiguous buffer and cannot deliver a
+non-contiguous layout.
+
+Scheme keys are duplicated from ``repro.core.schemes`` deliberately —
+the MPI layer must not import the core layer; a test pins the lists
+against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ....machine.access import AccessPattern
+from ....machine.platform import Platform
+from ....machine.pricing import SchemePricer
+from ....machine.registry import get_platform
+from .lower import lower
+from .ops import Program
+from .passes import run_pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime import
+    from ..datatype import Datatype
+
+__all__ = [
+    "AUTO_CANDIDATES",
+    "Advice",
+    "CandidatePrice",
+    "advise_datatype",
+    "advise_layout",
+    "select_scheme",
+]
+
+#: Schemes ``auto`` chooses among: every paper scheme that actually
+#: delivers a non-contiguous layout (all but ``reference``), in the
+#: paper's figure order (the deterministic tie-break).
+AUTO_CANDIDATES: tuple[str, ...] = (
+    "copying",
+    "buffered",
+    "vector",
+    "subarray",
+    "onesided",
+    "packing-element",
+    "packing-vector",
+)
+
+_PAPER_RANK = {
+    key: rank
+    for rank, key in enumerate(
+        ("reference", "copying", "buffered", "vector", "subarray",
+         "onesided", "packing-element", "packing-vector")
+    )
+}
+
+
+@dataclass(frozen=True)
+class CandidatePrice:
+    """One candidate scheme's modeled ping-pong time."""
+
+    key: str
+    modeled_time: float
+    #: Relative to the contiguous reference send of the same payload.
+    slowdown: float
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The full output of one selection: canonical IR + priced table."""
+
+    platform: str
+    source: str
+    count: int
+    nbytes: int
+    naive_ops: int
+    canonical_ops: int
+    trail: tuple[str, ...]
+    pattern: AccessPattern
+    reference_time: float
+    #: Sorted cheapest-first; ties broken by paper figure order.
+    prices: tuple[CandidatePrice, ...]
+
+    @property
+    def chosen(self) -> str:
+        return self.prices[0].key
+
+    def render(self) -> str:
+        """Human-readable advice table for the CLI."""
+        lines = [
+            f"advise: {self.count} x {self.source} on {self.platform}",
+            f"payload {self.nbytes} B in {self.pattern.nblocks} blocks, "
+            f"span {self.pattern.span_bytes} B, "
+            f"regularity {self.pattern.regularity:.2f}",
+            f"canonical IR: {self.canonical_ops} op(s) from {self.naive_ops} "
+            f"(passes: {', '.join(self.trail) if self.trail else 'none'})",
+            "",
+            f"  {'scheme':<18} {'modeled time':>14} {'vs reference':>13}",
+        ]
+        for price in self.prices:
+            marker = "*" if price.key == self.chosen else " "
+            lines.append(
+                f"{marker} {price.key:<18} {price.modeled_time * 1e6:>11.3f} us "
+                f"{price.slowdown:>12.2f}x"
+            )
+        lines.append("")
+        lines.append(f"recommended: {self.chosen}")
+        return "\n".join(lines)
+
+
+def _resolve_platform(platform: str | Platform) -> Platform:
+    if isinstance(platform, Platform):
+        return platform
+    return get_platform(platform)
+
+
+def advise_datatype(
+    dtype: "Datatype",
+    *,
+    count: int = 1,
+    platform: str | Platform = "skx-impi",
+    candidates: Iterable[str] = AUTO_CANDIDATES,
+) -> Advice:
+    """Canonicalize ``count`` elements of ``dtype`` and price every
+    candidate scheme on ``platform``."""
+    plat = _resolve_platform(platform)
+    keys = tuple(candidates)
+    if not keys:
+        raise ValueError("candidates must not be empty")
+    naive = lower(dtype, count)
+    result = run_pipeline(naive, platform=plat)
+    canonical: Program = result.program
+    pattern = canonical.pattern()
+    pricer = SchemePricer(plat)
+    reference_time = pricer.reference(pattern)
+    prices = tuple(
+        sorted(
+            (
+                CandidatePrice(
+                    key=key,
+                    modeled_time=(t := pricer.price(key, pattern)),
+                    slowdown=t / reference_time if reference_time > 0 else 1.0,
+                )
+                for key in keys
+            ),
+            key=lambda p: (p.modeled_time, _PAPER_RANK.get(p.key, len(_PAPER_RANK))),
+        )
+    )
+    return Advice(
+        platform=plat.name,
+        source=dtype.name,
+        count=count,
+        nbytes=canonical.nbytes,
+        naive_ops=naive.nops,
+        canonical_ops=canonical.nops,
+        trail=result.trail,
+        pattern=pattern,
+        reference_time=reference_time,
+        prices=prices,
+    )
+
+
+def advise_layout(
+    layout,
+    *,
+    platform: str | Platform = "skx-impi",
+    candidates: Iterable[str] = AUTO_CANDIDATES,
+) -> Advice:
+    """Advice for a benchmark layout (anything with ``make_datatype``)."""
+    dtype = layout.make_datatype()
+    try:
+        return advise_datatype(dtype, count=1, platform=platform, candidates=candidates)
+    finally:
+        dtype.free()
+
+
+def select_scheme(layout, platform: str | Platform) -> str:
+    """The ``auto`` scheme's resolution: the cheapest candidate for
+    ``layout`` on ``platform``.  Deterministic — pure host-side
+    arithmetic over the machine model."""
+    return advise_layout(layout, platform=platform).chosen

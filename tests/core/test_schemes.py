@@ -24,8 +24,12 @@ def layout():
 
 class TestRegistry:
     def test_paper_order_complete(self):
-        assert set(PAPER_ORDER) == set(SCHEME_CLASSES)
+        from repro.core.schemes import ALL_SCHEME_KEYS
+
+        assert set(ALL_SCHEME_KEYS) == set(SCHEME_CLASSES)
         assert len(PAPER_ORDER) == 8
+        # auto rides along in the registry but never in the paper's figures.
+        assert ALL_SCHEME_KEYS == PAPER_ORDER + ("auto",)
 
     def test_labels_match_paper_legend(self):
         labels = {SCHEME_CLASSES[k].label for k in PAPER_ORDER}

@@ -1,0 +1,67 @@
+"""Unit tests for the exec-speedup guard's gate logic — specifically
+the single-CPU skip path, which a multi-core CI box never exercises
+end to end."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).parent.parent.parent / "tools" / "check_exec_speedup.py"
+_spec = importlib.util.spec_from_file_location("check_exec_speedup", TOOL)
+tool = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_exec_speedup", tool)
+_spec.loader.exec_module(tool)
+
+
+class TestGateRecords:
+    def test_single_cpu_parallel_gate_is_explicitly_skipped(self):
+        gates = tool.gate_records(cpus=1, min_parallel=1.1, min_cache=10.0)
+        pg = gates["parallel_gate"]
+        assert pg["skipped"] is True
+        assert pg["checked"] is False
+        assert pg["reason"] == "single-CPU host"
+        assert pg["cpus"] == 1
+        # The cache gate is CPU-independent and always enforced.
+        assert gates["cache_gate"] == {
+            "checked": True, "skipped": False, "min": 10.0,
+        }
+
+    def test_multi_cpu_parallel_gate_is_enforced(self):
+        gates = tool.gate_records(cpus=4, min_parallel=1.1, min_cache=10.0)
+        assert gates["parallel_gate"] == {
+            "checked": True, "skipped": False, "min": 1.1,
+        }
+
+    def test_every_gate_has_an_explicit_skipped_field(self):
+        for cpus in (1, 2, 64):
+            for gate in tool.gate_records(cpus, 1.1, 10.0).values():
+                assert isinstance(gate["skipped"], bool)
+
+
+class TestEvaluateGates:
+    def test_skipped_parallel_gate_never_fails(self):
+        gates = tool.gate_records(cpus=1, min_parallel=1.1, min_cache=10.0)
+        # Terrible parallel "speedup": irrelevant when skipped.
+        assert tool.evaluate_gates(gates, parallel_speedup=0.2,
+                                   cache_speedup=50.0) == []
+
+    def test_enforced_parallel_gate_fails_below_minimum(self):
+        gates = tool.gate_records(cpus=4, min_parallel=1.1, min_cache=10.0)
+        failures = tool.evaluate_gates(gates, parallel_speedup=0.9,
+                                       cache_speedup=50.0)
+        assert len(failures) == 1
+        assert "parallel speedup" in failures[0]
+
+    def test_cache_gate_fails_even_on_single_cpu(self):
+        gates = tool.gate_records(cpus=1, min_parallel=1.1, min_cache=10.0)
+        failures = tool.evaluate_gates(gates, parallel_speedup=0.2,
+                                       cache_speedup=2.0)
+        assert len(failures) == 1
+        assert "warm-cache" in failures[0]
+
+    def test_all_green_when_both_speedups_clear(self):
+        gates = tool.gate_records(cpus=4, min_parallel=1.1, min_cache=10.0)
+        assert tool.evaluate_gates(gates, parallel_speedup=1.8,
+                                   cache_speedup=40.0) == []

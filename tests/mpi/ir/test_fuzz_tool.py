@@ -1,0 +1,67 @@
+"""Smoke tests for ``tools/fuzz_ir.py``: the happy path is exit 0 with
+no artifact, and an injected divergence exercises the minimizer and the
+JSON failure artifact."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).parent.parent.parent.parent / "tools" / "fuzz_ir.py"
+_spec = importlib.util.spec_from_file_location("fuzz_ir", TOOL)
+fuzz = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("fuzz_ir", fuzz)
+_spec.loader.exec_module(fuzz)
+
+
+def test_short_run_is_deterministic_and_green(tmp_path, capsys):
+    artifact = tmp_path / "failure.json"
+    argv = ["--cases", "60", "--seed", "7", "--artifact", str(artifact)]
+    assert fuzz.main(argv) == 0
+    assert not artifact.exists()
+    assert "OK: 60 random datatypes" in capsys.readouterr().out
+
+
+def test_spec_roundtrip_builds_every_kind():
+    import random
+
+    rng = random.Random(3)
+    seen = set()
+    for _ in range(200):
+        spec = fuzz.random_spec(rng)
+        seen.add(spec["kind"])
+        dtype = fuzz.build(spec)
+        assert dtype.size >= 0
+        dtype.free()
+    assert seen == {"vector", "hvector", "indexed", "indexed-block",
+                    "contiguous", "struct", "subarray", "resized"}
+
+
+def test_injected_failure_is_minimized_to_artifact(tmp_path, monkeypatch, capsys):
+    real_check = fuzz.check
+
+    def broken_check(spec, count):
+        # Pretend the IR mishandles any vector with count > 2: the
+        # minimizer must walk the spec down into that region's floor.
+        if spec["kind"] == "vector" and spec["count"] > 2:
+            return "injected divergence"
+        return real_check(spec, count)
+
+    monkeypatch.setattr(fuzz, "check", broken_check)
+    artifact = tmp_path / "failure.json"
+    code = fuzz.main(["--cases", "80", "--seed", "7", "--artifact", str(artifact)])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    report = json.loads(artifact.read_text())
+    assert report["seed"] == 7
+    assert report["failures"] >= 1
+    assert report["original"]["message"] == "injected divergence"
+    # Minimized: still failing, and shrunk to the smallest failing count.
+    small = report["minimized"]["spec"]
+    assert small["kind"] == "vector"
+    assert small["count"] == 3
+    assert report["minimized"]["message"] == "injected divergence"
+    assert "replay" in report
