@@ -42,7 +42,8 @@ def _executor_from(args: argparse.Namespace) -> Executor | None:
     if not hasattr(args, "jobs"):
         return None
     cache = None if args.no_cache else ResultStore()
-    return Executor(jobs=args.jobs, cache=cache)
+    return Executor(jobs=args.jobs, cache=cache,
+                    chunk_size=getattr(args, "chunk_size", None))
 
 
 def _progress(scheme: str, size: int, time: float) -> None:
@@ -292,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                        help="run cells on N worker processes (default 1: serial; "
                             "results are bit-identical either way)")
+        p.add_argument("--chunk-size", type=int, default=None, metavar="CELLS",
+                       help="cells per worker task under --jobs (default: sized "
+                            "automatically; chunking never changes results)")
         p.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result store (see 'repro cache')")
 

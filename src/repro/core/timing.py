@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..kernels import scalar_mode, summarize_batch
+
 __all__ = ["TimingPolicy", "TimingStats", "summarize"]
 
 
@@ -66,6 +68,22 @@ def summarize(times: list[float], dismiss_sigma: float | None = 1.0) -> TimingSt
     if any(t < 0 for t in times):
         raise ValueError("negative measurement")
     n = len(times)
+    if not scalar_mode():
+        # Batched tier: the whole iteration vector in one numpy pass,
+        # bit-identical to the sequential loop below (the differential
+        # test in tests/core/test_timing.py pins exact equality).
+        mean, std, kept_mean, dismissed, minimum, maximum = summarize_batch(
+            times, dismiss_sigma
+        )
+        return TimingStats(
+            times=tuple(times),
+            mean=mean,
+            std=std,
+            kept_mean=kept_mean,
+            dismissed=dismissed,
+            minimum=minimum,
+            maximum=maximum,
+        )
     mean = sum(times) / n
     var = sum((t - mean) ** 2 for t in times) / n
     std = math.sqrt(var)

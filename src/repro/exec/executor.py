@@ -7,9 +7,14 @@ bit-identical:
 * **serially** (``jobs=1``, the default) — in-process, cell by cell,
   exactly the pre-split double loop;
 * **in parallel** (``jobs=N``) — fanned out over a
-  ``ProcessPoolExecutor``.  Cells are pure functions of their specs
-  (deterministic kernel, per-cell noise seeding), so worker placement
-  and completion order cannot affect any result;
+  ``ProcessPoolExecutor`` in *chunks* of many cells per worker task.
+  Cells are pure functions of their specs (deterministic kernel,
+  per-cell noise seeding), so worker placement, chunking, and
+  completion order cannot affect any result.  The heavy shared state
+  (platform pricing models, timing policies) ships **once per worker**
+  through the pool initializer; each task then carries only slim
+  per-cell payloads (scheme key, layout, table indices), so dispatch
+  cost is amortized over the whole chunk instead of paid per cell;
 * **from cache** — when a :class:`~repro.exec.store.ResultStore` is
   attached, hits skip execution entirely and misses are persisted the
   moment they complete, making interrupted batches resumable.
@@ -28,11 +33,16 @@ ask for the ambient executor unless handed one explicitly.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+from ..core.layout import Layout
 from ..core.pingpong import PingPongResult
+from ..core.timing import TimingPolicy
+from ..machine.platform import Platform
 from ..obs import MetricsRegistry
 from .spec import CellOutcome, CellSpec, execute_spec
 from .store import ResultStore
@@ -42,17 +52,117 @@ __all__ = ["Executor", "current_executor", "using_executor"]
 #: ``on_result`` callback: (index into the batch, finished cell).
 OnResult = Callable[[int, PingPongResult], None]
 
+#: Auto chunking aims for this many task waves per worker: big enough
+#: chunks to amortize dispatch, enough waves that a slow chunk cannot
+#: straggle the whole batch.
+_CHUNK_WAVES = 4
 
-def _pool(jobs: int) -> ProcessPoolExecutor:
+
+def _pool(
+    jobs: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> ProcessPoolExecutor:
     """A worker pool; forked where available so workers inherit the
     already-imported simulator instead of re-importing numpy per spawn."""
     import multiprocessing
 
     if "fork" in multiprocessing.get_all_start_methods():
         return ProcessPoolExecutor(
-            max_workers=jobs, mp_context=multiprocessing.get_context("fork")
+            max_workers=jobs,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=initializer,
+            initargs=initargs,
         )
-    return ProcessPoolExecutor(max_workers=jobs)
+    return ProcessPoolExecutor(
+        max_workers=jobs, initializer=initializer, initargs=initargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side chunk machinery.
+#
+# The pool initializer installs the shared tables (platforms, policies)
+# exactly once per worker process; every submitted chunk then references
+# them by index.  Pickling a Platform (memory/cache/network/CPU models,
+# tuning, noise) per cell is what made ``--jobs 2`` slower than serial.
+# ----------------------------------------------------------------------
+_WORKER_TABLES: tuple[tuple[Platform, ...], tuple[TimingPolicy, ...]] | None = None
+
+
+def _init_worker(
+    platforms: tuple[Platform, ...], policies: tuple[TimingPolicy, ...]
+) -> None:
+    """Pool initializer: runs once per worker process, not per task."""
+    global _WORKER_TABLES
+    _WORKER_TABLES = (platforms, policies)
+
+
+@dataclass(frozen=True)
+class _SlimSpec:
+    """A :class:`CellSpec` with its heavy shared fields replaced by
+    indices into the worker tables — the per-cell task payload."""
+
+    scheme: str
+    layout: Layout
+    platform_idx: int
+    policy_idx: int
+    materialize: bool
+    concurrent_streams: int
+
+    def rebuild(
+        self, platforms: Sequence[Platform], policies: Sequence[TimingPolicy]
+    ) -> CellSpec:
+        return CellSpec(
+            scheme=self.scheme,
+            layout=self.layout,
+            platform=platforms[self.platform_idx],
+            policy=policies[self.policy_idx],
+            materialize=self.materialize,
+            concurrent_streams=self.concurrent_streams,
+        )
+
+
+def _slim_specs(
+    specs: Sequence[CellSpec],
+) -> tuple[list[_SlimSpec], tuple[Platform, ...], tuple[TimingPolicy, ...]]:
+    """Split a batch into slim per-cell payloads plus the shared tables
+    (deduplicated by object identity — equal-but-distinct platforms get
+    separate entries, which only costs a few table slots)."""
+    platforms: list[Platform] = []
+    policies: list[TimingPolicy] = []
+    platform_idx: dict[int, int] = {}
+    policy_idx: dict[int, int] = {}
+    slims: list[_SlimSpec] = []
+    for spec in specs:
+        pkey = id(spec.platform)
+        if pkey not in platform_idx:
+            platform_idx[pkey] = len(platforms)
+            platforms.append(spec.platform)
+        tkey = id(spec.policy)
+        if tkey not in policy_idx:
+            policy_idx[tkey] = len(policies)
+            policies.append(spec.policy)
+        slims.append(
+            _SlimSpec(
+                scheme=spec.scheme,
+                layout=spec.layout,
+                platform_idx=platform_idx[pkey],
+                policy_idx=policy_idx[tkey],
+                materialize=spec.materialize,
+                concurrent_streams=spec.concurrent_streams,
+            )
+        )
+    return slims, tuple(platforms), tuple(policies)
+
+
+def _execute_chunk(slims: Sequence[_SlimSpec]) -> list[CellOutcome]:
+    """Worker entry point: run one chunk of slim specs against the
+    tables the initializer installed; outcomes come back in chunk
+    order."""
+    assert _WORKER_TABLES is not None, "worker initializer did not run"
+    platforms, policies = _WORKER_TABLES
+    return [execute_spec(slim.rebuild(platforms, policies)) for slim in slims]
 
 
 class Executor:
@@ -65,13 +175,27 @@ class Executor:
     cache:
         Optional on-disk result store.  Hits bypass execution; fresh
         outcomes are persisted per cell as they complete.
+    chunk_size:
+        Cells per worker task in parallel mode.  ``None`` (default)
+        sizes chunks automatically so each worker sees about
+        ``_CHUNK_WAVES`` tasks.  Chunking is invisible in every result
+        (cells are pure), it only moves the dispatch/compute ratio.
     """
 
-    def __init__(self, *, jobs: int = 1, cache: ResultStore | None = None):
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultStore | None = None,
+        chunk_size: int | None = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        self.chunk_size = chunk_size
         #: Batch-aggregated metrics from every freshly executed cell.
         self.metrics = MetricsRegistry()
         self.cells_executed = 0
@@ -120,6 +244,14 @@ class Executor:
             self._run_parallel(specs, pending, results, on_result)
         return results  # type: ignore[return-value]  # every slot is filled
 
+    def _resolve_chunk_size(self, npending: int) -> int:
+        """Cells per worker task: the explicit setting, or enough per
+        chunk that each worker sees about ``_CHUNK_WAVES`` tasks."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        workers = min(self.jobs, npending)
+        return max(1, math.ceil(npending / (workers * _CHUNK_WAVES)))
+
     def _run_parallel(
         self,
         specs: list[CellSpec],
@@ -127,19 +259,30 @@ class Executor:
         results: list[PingPongResult | None],
         on_result: OnResult | None,
     ) -> None:
-        with _pool(min(self.jobs, len(pending))) as pool:
+        slims, platforms, policies = _slim_specs([specs[i] for i in pending])
+        size = self._resolve_chunk_size(len(pending))
+        chunks = [
+            (pending[lo : lo + size], slims[lo : lo + size])
+            for lo in range(0, len(pending), size)
+        ]
+        workers = min(self.jobs, len(chunks))
+        with _pool(workers, _init_worker, (platforms, policies)) as pool:
             try:
-                futures: dict[Future, int] = {
-                    pool.submit(execute_spec, specs[i]): i for i in pending
+                futures: dict[Future, list[int]] = {
+                    pool.submit(_execute_chunk, chunk_slims): indices
+                    for indices, chunk_slims in chunks
                 }
                 not_done = set(futures)
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for fut in done:
-                        i = futures[fut]
-                        results[i] = self._absorb(specs[i], fut.result())
-                        if on_result is not None:
-                            on_result(i, results[i])
+                        # Results stream back per chunk; the metrics
+                        # merge stays commutative, so chunk completion
+                        # order is unobservable in the aggregate.
+                        for i, outcome in zip(futures[fut], fut.result()):
+                            results[i] = self._absorb(specs[i], outcome)
+                            if on_result is not None:
+                                on_result(i, results[i])
             except BaseException:
                 # Persisted cells survive; everything in flight is torn
                 # down now rather than at context exit so Ctrl-C does
@@ -178,8 +321,9 @@ class Executor:
 
     def describe(self) -> str:
         cache = "off" if self.cache is None else str(self.cache.root)
+        chunk = "auto" if self.chunk_size is None else str(self.chunk_size)
         return (
-            f"executor: jobs={self.jobs}, cache={cache} "
+            f"executor: jobs={self.jobs}, chunk={chunk}, cache={cache} "
             f"({self.cells_executed} executed, {self.cells_cached} cache hits)"
         )
 

@@ -1,0 +1,87 @@
+"""The batch-kernel layer: vectorized twins of the simulator's hot loops.
+
+Three interpreted hot paths dominate the simulator's wall clock — the
+:class:`~repro.mpi.datatypes.plan.TransferPlan` run-list gather/scatter
+loops, the :class:`~repro.net.flows.FlowEngine` max-min re-solves, and
+the per-iteration timing summary.  Each has a *batched* twin here that
+performs the same work as whole-array numpy operations, generalizing the
+``pack_elements_bulk`` simulation-acceleration pattern (DESIGN.md §1)
+from one API call to the entire execution hot path.
+
+The contract is strict bit-identity: a batched kernel produces exactly
+the bytes / floats the scalar loop produces, in the same IEEE-754
+arithmetic, so virtual time and payload contents cannot depend on which
+tier ran.  The differential suites (``tests/mpi/test_kernels_differential``,
+``tests/net/test_flows`` and ``tests/core/test_timing``) assert exact
+equality, and the 64 golden scheme times are pinned under both tiers.
+
+Escape hatch
+------------
+Setting ``REPRO_SCALAR_KERNELS=1`` in the environment forces every
+dispatch site back onto the original scalar loops — the differential
+baseline, and the knob to flip when chasing a suspected kernel bug.
+Tests toggle the same switch in-process via :func:`forced_scalar`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "scalar_mode",
+    "kernel_mode",
+    "forced_scalar",
+    "SCALAR_ENV_VAR",
+]
+
+#: Environment variable that forces the scalar tier everywhere.
+SCALAR_ENV_VAR = "REPRO_SCALAR_KERNELS"
+
+
+def _env_scalar() -> bool:
+    return os.environ.get(SCALAR_ENV_VAR, "") not in ("", "0")
+
+
+#: Module-level flag checked (cheaply) at every dispatch site.  Workers
+#: re-evaluate the environment on import, so forked/spawned pools honour
+#: the same setting as the parent.
+_scalar = _env_scalar()
+
+
+def scalar_mode() -> bool:
+    """True when the scalar escape hatch is active (env var or
+    :func:`forced_scalar`)."""
+    return _scalar
+
+
+def kernel_mode() -> str:
+    """The active tier as a string — ``"scalar"`` or ``"batched"`` —
+    recorded in span attributes and benchmark artifacts."""
+    return "scalar" if _scalar else "batched"
+
+
+@contextmanager
+def forced_scalar(enabled: bool = True) -> Iterator[None]:
+    """Force the scalar tier for a ``with`` block (differential tests).
+
+    Nesting restores the previous setting on exit; the environment
+    variable is not touched.
+    """
+    global _scalar
+    saved = _scalar
+    _scalar = enabled
+    try:
+        yield
+    finally:
+        _scalar = saved
+
+
+# Re-exports of the batched kernels (import after the mode machinery so
+# kernel modules can import the flag helpers without a cycle).
+from .gather import BatchTable, batch_table_for  # noqa: E402
+from .flows import max_min_rates_batched  # noqa: E402
+from .timing import summarize_batch  # noqa: E402
+
+__all__ += ["BatchTable", "batch_table_for", "max_min_rates_batched", "summarize_batch"]

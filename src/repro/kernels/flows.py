@@ -1,0 +1,94 @@
+"""Vectorized max-min fair rate solver.
+
+The scalar progressive-filling loop in :mod:`repro.net.flows` rebuilds a
+per-link flow-count dict and scans every active flow and touched link in
+Python on each filling round.  This twin keeps the identical algorithm —
+same rounds, same freeze decisions, same IEEE-754 arithmetic — but does
+each round's bookkeeping as whole-array numpy operations over a flat
+(flow, link) incidence representation:
+
+* per-link active-flow counts: one ``bincount`` over the incidence edges;
+* the filling increment: array minima over ``demands - rates`` and
+  ``headroom / counts`` (minimum of a float set is order-independent,
+  so the dict-iteration order of the scalar loop cannot be observed);
+* saturation and at-cap freezing: elementwise masks.
+
+Because every float operation (subtract, divide, multiply-accumulate,
+compare) is performed on the same operands in both tiers, the returned
+rates are bit-identical — asserted exactly by the differential tests in
+``tests/net/test_flows.py`` — and virtual time cannot depend on the tier.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["max_min_rates_batched"]
+
+#: Relative tolerance for "link saturated" / "flow at cap" — must equal
+#: the scalar solver's constant (re-exported there; the differential
+#: test pins the two).
+_EPS_REL = 1e-12
+
+
+def max_min_rates_batched(
+    routes: Sequence[tuple[int, ...]],
+    demands: Sequence[float],
+    capacities: Sequence[float],
+) -> list[float]:
+    """Vectorized twin of :func:`repro.net.flows.max_min_rates` — same
+    contract, same validation, bit-identical rates."""
+    n = len(routes)
+    if len(demands) != n:
+        raise ValueError("routes and demands must align")
+    demand = np.asarray(demands, dtype=np.float64)
+    if demand.size and np.any(demand <= 0):
+        raise ValueError("flow demand caps must be positive")
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.size and np.any(caps <= 0):
+        raise ValueError("link capacities must be positive")
+    if n == 0:
+        return []
+
+    # Flat incidence: edge e is (flow_ids[e], link_ids[e]).
+    route_lens = np.fromiter((len(r) for r in routes), dtype=np.int64, count=n)
+    flow_ids = np.repeat(np.arange(n, dtype=np.int64), route_lens)
+    if flow_ids.size:
+        link_ids = np.concatenate(
+            [np.asarray(r, dtype=np.int64) for r in routes if len(r)]
+        )
+    else:
+        link_ids = np.empty(0, dtype=np.int64)
+
+    nlinks = caps.size
+    rates = np.zeros(n, dtype=np.float64)
+    headroom = caps.copy()
+    sat_floor = _EPS_REL * caps
+    active = np.ones(n, dtype=bool)
+    while active.any():
+        edge_active = active[flow_ids]
+        counts = np.bincount(link_ids[edge_active], minlength=nlinks)
+        inc = float(np.min(demand[active] - rates[active]))
+        used = counts > 0
+        if used.any():
+            share_min = float(np.min(headroom[used] / counts[used]))
+            if share_min < inc:
+                inc = share_min
+        if inc > 0:
+            rates[active] += inc
+            headroom[used] -= inc * counts[used]
+        saturated = used & (headroom <= sat_floor)
+        at_cap = active & (rates >= demand * (1 - _EPS_REL))
+        rates[at_cap] = demand[at_cap]
+        if flow_ids.size:
+            edge_sat = edge_active & saturated[link_ids]
+            blocked = np.bincount(flow_ids[edge_sat], minlength=n) > 0
+        else:
+            blocked = np.zeros(n, dtype=bool)
+        still = active & ~at_cap & ~blocked
+        if still.sum() == active.sum():  # pragma: no cover - float pathology guard
+            break
+        active = still
+    return [float(r) for r in rates]

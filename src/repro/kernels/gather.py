@@ -1,0 +1,117 @@
+"""Batched gather/scatter over whole run lists.
+
+The scalar tier moves a :class:`~repro.mpi.datatypes.plan.TransferPlan`
+one run at a time — a Python loop whose per-iteration work can be a
+single cache line for layouts that flatten to many small runs (struct
+types, replicated mixed-length blocks).  The batch table collapses the
+*entire* run list into flat offset/length/destination arrays once, then
+moves all blocks of each distinct length with one fancy-indexing
+expression per class — the same per-length-class trick
+:class:`~repro.mpi.datatypes.runs.IrregularRuns` already plays, lifted
+from one run to the whole plan.
+
+Byte-identity with the scalar loop is structural: both paths write each
+destination byte exactly once from the same source byte (runs are
+non-overlapping), so write order cannot matter.  The differential suite
+asserts it anyway, across every datatype constructor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.datatypes.runs import Run
+
+__all__ = ["BatchTable", "batch_table_for"]
+
+
+def _expand(runs: Sequence["Run"]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a run list to (offsets, lengths) int64 arrays in pack
+    order — the same expansion :func:`~repro.mpi.datatypes.runs.replicate`
+    uses for its vectorized fold."""
+    from ..mpi.datatypes.runs import ContigRun, StridedRuns
+
+    offsets_parts: list[np.ndarray] = []
+    lengths_parts: list[np.ndarray] = []
+    for run in runs:
+        if isinstance(run, ContigRun):
+            offsets_parts.append(np.asarray([run.offset], dtype=np.int64))
+            lengths_parts.append(np.asarray([run.length], dtype=np.int64))
+        elif isinstance(run, StridedRuns):
+            offsets_parts.append(
+                run.offset + run.stride * np.arange(run.count, dtype=np.int64)
+            )
+            lengths_parts.append(np.full(run.count, run.blocklen, dtype=np.int64))
+        else:
+            offsets_parts.append(run.offsets)
+            lengths_parts.append(run.lengths)
+    if not offsets_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(offsets_parts), np.concatenate(lengths_parts)
+
+
+class BatchTable:
+    """The whole-plan block table: every (src offset, length, pack
+    offset) triple of a run list, grouped by distinct block length.
+
+    Built once per plan (lazily, on the first batched transfer) and
+    reused for every subsequent gather/scatter of that plan — the
+    compile-once discipline of the plan cache, extended to the index
+    arrays the batched kernels consume.
+    """
+
+    __slots__ = ("nblocks", "total_bytes", "_classes")
+
+    def __init__(self, runs: Sequence["Run"]):
+        offsets, lengths = _expand(runs)
+        self.nblocks = int(offsets.size)
+        self.total_bytes = int(lengths.sum()) if lengths.size else 0
+        # Pack-buffer offset of each block: exclusive prefix sum over
+        # the pack order (identical to the scalar loop's running total).
+        dst = np.concatenate(([0], np.cumsum(lengths[:-1]))) if lengths.size else lengths
+        classes: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for length in np.unique(lengths):
+            mask = lengths == length
+            classes.append((int(length), offsets[mask], dst[mask]))
+        self._classes = classes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchTable(blocks={self.nblocks}, bytes={self.total_bytes}, "
+            f"classes={len(self._classes)})"
+        )
+
+    @property
+    def nclasses(self) -> int:
+        return len(self._classes)
+
+    def gather(self, src: np.ndarray, dst: np.ndarray, dst_offset: int) -> int:
+        """Move every block out of ``src`` into contiguous ``dst`` at
+        ``dst_offset``; returns bytes written."""
+        for length, offs, dsts in self._classes:
+            if length == 1:
+                dst[dsts + dst_offset] = src[offs]
+            else:
+                span = np.arange(length, dtype=np.int64)
+                dst[(dsts + dst_offset)[:, None] + span] = src[offs[:, None] + span]
+        return self.total_bytes
+
+    def scatter(self, src: np.ndarray, src_offset: int, dst: np.ndarray) -> int:
+        """Inverse of :meth:`gather`; returns bytes consumed."""
+        for length, offs, dsts in self._classes:
+            if length == 1:
+                dst[offs] = src[dsts + src_offset]
+            else:
+                span = np.arange(length, dtype=np.int64)
+                dst[offs[:, None] + span] = src[(dsts + src_offset)[:, None] + span]
+        return self.total_bytes
+
+
+def batch_table_for(runs: Sequence["Run"]) -> BatchTable:
+    """Compile a run list into a :class:`BatchTable` (plans memoize the
+    result; call sites that move a list once can use it directly)."""
+    return BatchTable(runs)

@@ -1,0 +1,61 @@
+"""Batched timing summary.
+
+The measurement protocol summarizes each cell's individually-timed
+ping-pongs with sequential Python arithmetic (``sum``, a generator
+variance pass, a list-comprehension dismissal filter).  This twin does
+the same work over the whole iteration vector at once.
+
+Bit-identity hinges on one numpy fact the differential test pins:
+``np.cumsum`` accumulates *sequentially* (unlike ``np.sum``, which uses
+pairwise summation), so ``cumsum(a)[-1]`` reproduces Python's
+left-to-right ``sum`` to the last ulp.  Everything else — elementwise
+subtraction, squaring, comparison against the dismissal cutoff — is the
+same IEEE-754 operation on the same operands in both tiers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["summarize_batch"]
+
+
+def _seq_sum(arr: np.ndarray) -> float:
+    """Sequential (left-to-right) sum — bit-identical to Python ``sum``."""
+    return float(np.cumsum(arr)[-1])
+
+
+def summarize_batch(
+    times: Sequence[float], dismiss_sigma: float | None
+) -> tuple[float, float, float, int, float, float]:
+    """Vectorized twin of the scalar summary loop in
+    :func:`repro.core.timing.summarize`.
+
+    Returns ``(mean, std, kept_mean, dismissed, minimum, maximum)``;
+    input validation stays with the caller so both tiers share it.
+    """
+    arr = np.asarray(times, dtype=np.float64)
+    n = arr.size
+    mean = _seq_sum(arr) / n
+    dev = arr - mean
+    var = _seq_sum(dev * dev) / n
+    std = math.sqrt(var)
+    negligible = std <= 1e-9 * abs(mean)
+    if dismiss_sigma is None or negligible:
+        kept = arr
+    else:
+        cutoff = mean + dismiss_sigma * std
+        kept = arr[arr <= cutoff]
+        if kept.size == 0:
+            kept = arr
+    return (
+        mean,
+        std,
+        _seq_sum(kept) / int(kept.size),
+        int(n - kept.size),
+        float(arr.min()),
+        float(arr.max()),
+    )

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+from ...kernels import batch_table_for, scalar_mode
 from ...machine.access import AccessPattern, contiguous_pattern
 from ..errors import DatatypeError, PackError
 from .runs import Run, combine_patterns
@@ -93,6 +94,7 @@ class TransferPlan:
         "pattern",
         "nblocks",
         "reuses",
+        "_batch",
     )
 
     def __init__(self, datatype_name: str, count: int, elem_size: int,
@@ -109,6 +111,9 @@ class TransferPlan:
         #: Cache hits served by this plan (0 on a cold compile) — the
         #: span attribute that records plan reuse.
         self.reuses = 0
+        #: Lazily compiled whole-plan block table for the batched
+        #: gather/scatter kernel (multi-run plans only).
+        self._batch = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -147,20 +152,44 @@ class TransferPlan:
     # ------------------------------------------------------------------
     # Byte movement
     # ------------------------------------------------------------------
+    def _batch_table(self):
+        """The compiled whole-plan block table (built once, reused for
+        every batched transfer of this plan)."""
+        batch = self._batch
+        if batch is None:
+            batch = self._batch = batch_table_for(self.runs)
+        return batch
+
     def gather(self, src_b: np.ndarray, dst_b: np.ndarray, dst_offset: int = 0) -> int:
         """Move this layout out of ``src_b`` into contiguous ``dst_b``
-        (both flat uint8); returns bytes written."""
-        written = dst_offset
-        for run in self.runs:
-            written += run.gather(src_b, dst_b, written)
-        return written - dst_offset
+        (both flat uint8); returns bytes written.
+
+        Single-run plans (the common case after coalescing) go straight
+        to the run's own vectorized movement; multi-run plans use the
+        batched whole-plan kernel unless ``REPRO_SCALAR_KERNELS`` forces
+        the original per-run loop.
+        """
+        runs = self.runs
+        if len(runs) == 1:
+            return runs[0].gather(src_b, dst_b, dst_offset)
+        if scalar_mode():
+            written = dst_offset
+            for run in runs:
+                written += run.gather(src_b, dst_b, written)
+            return written - dst_offset
+        return self._batch_table().gather(src_b, dst_b, dst_offset)
 
     def scatter(self, src_b: np.ndarray, src_offset: int, dst_b: np.ndarray) -> int:
         """Inverse of :meth:`gather`; returns bytes consumed."""
-        consumed = src_offset
-        for run in self.runs:
-            consumed += run.scatter(src_b, consumed, dst_b)
-        return consumed - src_offset
+        runs = self.runs
+        if len(runs) == 1:
+            return runs[0].scatter(src_b, src_offset, dst_b)
+        if scalar_mode():
+            consumed = src_offset
+            for run in runs:
+                consumed += run.scatter(src_b, consumed, dst_b)
+            return consumed - src_offset
+        return self._batch_table().scatter(src_b, src_offset, dst_b)
 
     def pack_into(self, src: np.ndarray, dst: np.ndarray, dst_offset: int = 0) -> int:
         """Checked gather with engine semantics: validates the packed

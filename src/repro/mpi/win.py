@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..kernels import kernel_mode
 from ..sim.sync import SimBarrier
 from .buffers import SimBuffer, as_simbuffer
 from .datatypes import BYTE, Datatype
@@ -177,7 +178,8 @@ class Win:
                                         rank=comm.process.rank, category="staging",
                                         nbytes=nbytes,
                                         chunks=cost.staging_chunks(nbytes),
-                                        plan_reuse=origin_plan.reuses)
+                                        plan_reuse=origin_plan.reuses,
+                                        kernel=kernel_mode())
         payload = comm._build_payload(origin_buf, origin_plan)
         wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
 

@@ -9,7 +9,7 @@ topology is the degenerate case that bypasses everything and reproduces
 the closed-form model bit for bit.
 """
 
-from .flows import LINK_UTIL_EVENT, Flow, FlowEngine, max_min_rates
+from .flows import LINK_UTIL_EVENT, Flow, FlowEngine, max_min_rates, max_min_rates_scalar
 from .routing import Router
 from .topology import (
     TOPOLOGY_KINDS,
@@ -26,6 +26,7 @@ __all__ = [
     "FlowEngine",
     "LINK_UTIL_EVENT",
     "max_min_rates",
+    "max_min_rates_scalar",
     "Router",
     "Link",
     "Topology",

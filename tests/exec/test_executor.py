@@ -222,6 +222,107 @@ class TestInterruptAndResume:
             ex.run_batch(batch)
 
 
+class TestChunkedDispatch:
+    """Chunking is a dispatch-cost knob, never a semantic one: results,
+    cache contents, and metrics cannot depend on the chunk size, and the
+    heavy shared tables ship once per worker, not once per chunk."""
+
+    def test_auto_chunk_sizing_targets_waves_per_worker(self):
+        # 16 cells over 2 workers x 4 waves -> 2 cells per chunk.
+        assert Executor(jobs=2)._resolve_chunk_size(16) == 2
+        assert Executor(jobs=4)._resolve_chunk_size(100) == 7
+        # Tiny batches degenerate to one cell per task, never zero.
+        assert Executor(jobs=8)._resolve_chunk_size(4) == 1
+        # An explicit size wins outright.
+        assert Executor(jobs=2, chunk_size=5)._resolve_chunk_size(100) == 5
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            Executor(chunk_size=0)
+        with pytest.raises(ValueError):
+            Executor(chunk_size=-3)
+
+    def test_describe_mentions_chunk(self):
+        assert "chunk=auto" in Executor(jobs=2).describe()
+        assert "chunk=7" in Executor(jobs=2, chunk_size=7).describe()
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64])
+    def test_chunk_size_invisible_in_results(self, chunk_size):
+        _, specs = golden_batch()
+        sample = specs[:6]
+        serial = Executor(jobs=1).run_batch(sample)
+        chunked = Executor(jobs=2, chunk_size=chunk_size).run_batch(sample)
+        for a, b in zip(serial, chunked):
+            assert a.time.hex() == b.time.hex()
+            assert a.virtual_time.hex() == b.virtual_time.hex()
+            assert a.events == b.events
+
+    def test_slim_payload_ships_tables_not_platforms(self):
+        """The per-cell task payload carries table indices; the platform
+        (the pickling cost that made --jobs lose to serial) appears only
+        in the once-per-worker tables."""
+        import pickle
+
+        from repro.core import PAPER_ORDER, StridedLayout
+        from repro.exec.executor import _slim_specs
+        from repro.machine import get_platform
+
+        platform = get_platform("skx-impi")
+        layout = StridedLayout(nblocks=256, blocklen=1, stride=2)
+        specs = [
+            CellSpec(scheme=s, layout=layout, platform=platform,
+                     policy=GOLDEN_POLICY, materialize=False)
+            for s in PAPER_ORDER
+        ]
+        slims, platforms, policies = _slim_specs(specs)
+        # One shared platform object -> one table entry, every slim
+        # spec pointing at it.
+        assert len(platforms) == 1 and len(policies) == 1
+        assert {s.platform_idx for s in slims} == {0}
+        assert {s.policy_idx for s in slims} == {0}
+        # The chunk payload contains no platform pickle at all...
+        blob = pickle.dumps(slims)
+        assert b"repro.machine" not in blob
+        # ...and each *task* is dramatically lighter than the old
+        # one-full-spec-per-task payload (pickle memoizes shared objects
+        # inside one dumps, but every submitted task pickles alone, so
+        # the per-task comparison is the one that models dispatch cost).
+        per_task_full = len(pickle.dumps(specs[0]))
+        per_task_slim = len(pickle.dumps(slims[0]))
+        assert per_task_slim * 4 < per_task_full
+        # Rebuilding against the tables reproduces the exact specs.
+        rebuilt = [s.rebuild(platforms, policies) for s in slims]
+        assert [r.digest for r in rebuilt] == [s.digest for s in specs]
+
+    def test_initializer_runs_once_per_worker_not_per_chunk(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression for the once-per-worker contract: 6 single-cell
+        chunks over 2 workers must invoke the pool initializer at most
+        twice (once per worker process), never per chunk."""
+        import functools
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method to observe the wrapper")
+
+        import repro.exec.executor as executor_mod
+
+        monkeypatch.setattr(
+            executor_mod,
+            "_init_worker",
+            functools.partial(_marking_init, executor_mod._init_worker, str(tmp_path)),
+        )
+        _, specs = golden_batch()
+        sample = specs[:6]
+        ex = Executor(jobs=2, chunk_size=1)
+        ex.run_batch(sample)
+        markers = list(tmp_path.glob("init.*"))
+        assert ex.cells_executed == 6
+        assert 1 <= len(markers) <= 2  # one marker per worker process
+        assert len(markers) < len(sample)  # strictly fewer inits than chunks
+
+
 class TestAmbientExecutor:
     def test_default_is_serial_and_cacheless(self):
         ex = current_executor()
@@ -243,6 +344,15 @@ class TestAmbientExecutor:
     def test_validation(self):
         with pytest.raises(ValueError):
             Executor(jobs=0)
+
+
+def _marking_init(real_init, marker_dir: str, platforms, policies) -> None:
+    """Module-level (fork-shareable) wrapper around the real pool
+    initializer that leaves one marker file per worker process."""
+    import os
+
+    real_init(platforms, policies)
+    Path(marker_dir, f"init.{os.getpid()}").write_text("")
 
 
 def _scheme_time(scheme: str, nbytes: int) -> float:

@@ -36,6 +36,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.core import SweepConfig, TimingPolicy, run_sweep  # noqa: E402
 from repro.exec import Executor, ResultStore  # noqa: E402
+from repro.kernels import kernel_mode  # noqa: E402
 
 #: All eight schemes over two materialized sizes, 20 iterations with
 #: cache flushes: the paper's measurement protocol at a size where one
@@ -60,7 +61,7 @@ def timed(executor: Executor):
     return time.perf_counter() - t0, sweep
 
 
-def measure(jobs: int, repeats: int, cache_root: Path):
+def measure(jobs: int, chunk_size: int | None, repeats: int, cache_root: Path):
     """Best-of-``repeats`` per mode, interleaved so drifting machine
     load biases no single mode."""
     t = {"serial": float("inf"), "parallel": float("inf"),
@@ -70,7 +71,7 @@ def measure(jobs: int, repeats: int, cache_root: Path):
     for rep in range(repeats):
         t_run, sweeps["serial"] = timed(Executor(jobs=1))
         t["serial"] = min(t["serial"], t_run)
-        t_run, sweeps["parallel"] = timed(Executor(jobs=jobs))
+        t_run, sweeps["parallel"] = timed(Executor(jobs=jobs, chunk_size=chunk_size))
         t["parallel"] = min(t["parallel"], t_run)
         store.clear()
         t_run, sweeps["cold_cache"] = timed(Executor(jobs=1, cache=store))
@@ -129,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes for the parallel leg (default 2)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="cells per worker task (default: auto-sized)")
     parser.add_argument("--min-parallel-speedup", type=float, default=1.1,
                         help="required serial/parallel ratio (default 1.1; "
                              "skipped on single-CPU hosts)")
@@ -142,7 +145,7 @@ def main(argv: list[str] | None = None) -> int:
 
     cpus = usable_cpus()
     with tempfile.TemporaryDirectory(prefix="exec-bench-") as cache_root:
-        t, sweeps = measure(args.jobs, args.repeats, Path(cache_root))
+        t, sweeps = measure(args.jobs, args.chunk_size, args.repeats, Path(cache_root))
 
     # The contract check rides along: every mode, byte-identical.
     baseline = sweeps["serial"].to_dict()
@@ -162,6 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         "platform": PLATFORM,
         "cpus": cpus,
         "jobs": args.jobs,
+        "chunk_size": args.chunk_size if args.chunk_size is not None else "auto",
+        "kernel": kernel_mode(),
         "serial_seconds": round(t["serial"], 4),
         "parallel_seconds": round(t["parallel"], 4),
         "cold_cache_seconds": round(t["cold_cache"], 4),
