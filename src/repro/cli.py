@@ -269,6 +269,94 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_options(pairs: list[str] | None) -> dict[str, str]:
+    options: dict[str, str] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--option expects KEY=VALUE, got {pair!r}")
+        options[key] = value
+    return options
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf import (
+        Ledger,
+        LedgerEntry,
+        all_gates,
+        diff_entries,
+        get_gate,
+        render_diff,
+        render_report,
+        run_gate,
+    )
+
+    ledger = Ledger(args.ledger_dir)
+
+    if args.perf_command == "report":
+        print(render_report(ledger.entries(), limit=args.limit))
+        return 0
+
+    if args.perf_command == "diff":
+        try:
+            a = ledger.resolve(args.ref_a)
+            b = ledger.resolve(args.ref_b)
+        except LookupError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(render_diff(a, b, diff_entries(a, b)))
+        return 0
+
+    # record / gate: run the selected specs.
+    options = _parse_options(args.option)
+    if args.all or not args.gates:
+        specs = all_gates()
+    else:
+        try:
+            specs = [get_gate(name) for name in args.gates]
+        except LookupError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    results = []
+    sections = []
+    for spec in specs:
+        print(f"== gate {spec.name} ==", flush=True)
+        result, telemetry = run_gate(spec, options)
+        print(result.render())
+        print()
+        results.append(result)
+        if telemetry is not None:
+            sections.append((spec.name, telemetry))
+
+    if args.host_trace and sections:
+        from .obs import host_chrome_trace
+
+        trace_path = Path(args.host_trace)
+        trace_path.write_text(json.dumps(host_chrome_trace(sections), indent=1))
+        print(f"wrote host Chrome trace to {trace_path}")
+
+    if args.perf_command == "record" or args.record:
+        entry = LedgerEntry.record(
+            [r.to_json() for r in results], options=options
+        )
+        path = ledger.append(entry)
+        print(f"recorded {entry.sha[:12]} -> {path}")
+
+    failures = [f for r in results for f in r.failures()]
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        skipped = sum(1 for r in results if r.skipped)
+        note = f" ({skipped} gate(s) fully skipped)" if skipped else ""
+        print(f"OK: {len(results)} gate(s){note}")
+    if args.perf_command == "gate":
+        return 1 if failures else 0
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     report = build_report(quick=args.quick, progress=_progress if args.verbose else None)
     text = report.to_markdown()
@@ -298,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "automatically; chunking never changes results)")
         p.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result store (see 'repro cache')")
+        p.add_argument("--host-trace", metavar="PATH", default=None,
+                       help="record host-side telemetry (worker lanes, store "
+                            "IO, kernel tiers) and write a Chrome trace to PATH")
 
     def add_sweep_options(p: argparse.ArgumentParser, with_platform: bool = True) -> None:
         if with_platform:
@@ -406,12 +497,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store root (default: $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
     p.set_defaults(fn=cmd_cache)
 
+    p = sub.add_parser(
+        "perf",
+        help="run regression gates, record/inspect the perf ledger",
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    def add_perf_run_options(pp: argparse.ArgumentParser) -> None:
+        pp.add_argument("--gate", dest="gates", action="append", metavar="NAME",
+                        help="gate to run (repeatable; default: all)")
+        pp.add_argument("--all", action="store_true",
+                        help="run every registered gate")
+        pp.add_argument("--option", action="append", metavar="KEY=VALUE",
+                        help="override a gate option, e.g. "
+                             "exec.min_cache_speedup=5 or kernels.repeats=3")
+        pp.add_argument("--ledger-dir", default=None,
+                        help="ledger root (default: <cache dir>/perf-ledger)")
+        pp.add_argument("--host-trace", metavar="PATH", default=None,
+                        help="write the per-gate host telemetry as one "
+                             "Chrome trace to PATH")
+
+    pp = perf_sub.add_parser("record",
+                             help="run gates and append a ledger entry")
+    add_perf_run_options(pp)
+    pp.set_defaults(fn=cmd_perf, record=True)
+
+    pp = perf_sub.add_parser("gate",
+                             help="run gates and fail on any regression")
+    add_perf_run_options(pp)
+    pp.add_argument("--record", action="store_true",
+                    help="also append a ledger entry")
+    pp.set_defaults(fn=cmd_perf)
+
+    pp = perf_sub.add_parser("diff",
+                             help="per-metric deltas between two ledger entries")
+    pp.add_argument("ref_a", help="'latest', '@N', or a git-sha prefix")
+    pp.add_argument("ref_b", help="'latest', '@N', or a git-sha prefix")
+    pp.add_argument("--ledger-dir", default=None)
+    pp.set_defaults(fn=cmd_perf)
+
+    pp = perf_sub.add_parser("report", help="summarize the recorded runs")
+    pp.add_argument("-n", "--limit", type=int, default=10,
+                    help="entries to show, newest first (default 10)")
+    pp.add_argument("--ledger-dir", default=None)
+    pp.set_defaults(fn=cmd_perf)
+
     return parser
+
+
+def _write_host_trace(path: str) -> None:
+    """Export the ambient host-telemetry capture as a Chrome trace."""
+    import json
+
+    from .obs import host as host_mod
+    from .obs import host_chrome_trace
+
+    captured = host_mod.disable()
+    if captured is None:
+        return
+    Path(path).write_text(json.dumps(host_chrome_trace(captured), indent=1))
+    print(f"wrote host Chrome trace to {path}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     executor = _executor_from(args)
+    # --host-trace on execution commands captures the whole command;
+    # 'repro perf' scopes captures per gate and ignores this path.
+    host_trace = args.host_trace if (
+        hasattr(args, "jobs") and getattr(args, "host_trace", None)
+    ) else None
+    if host_trace:
+        from .obs import host as host_mod
+
+        host_mod.enable()
     try:
         if executor is None:
             return args.fn(args)
@@ -432,6 +591,9 @@ def main(argv: list[str] | None = None) -> int:
             print("  nothing persisted (--no-cache); a re-run starts from scratch",
                   file=sys.stderr)
         return 130
+    finally:
+        if host_trace:
+            _write_host_trace(host_trace)
 
 
 if __name__ == "__main__":  # pragma: no cover

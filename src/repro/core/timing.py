@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 
 from ..kernels import scalar_mode, summarize_batch
+from ..obs import host as _host
 
 __all__ = ["TimingPolicy", "TimingStats", "summarize"]
 
@@ -69,6 +70,8 @@ def summarize(times: list[float], dismiss_sigma: float | None = 1.0) -> TimingSt
         raise ValueError("negative measurement")
     n = len(times)
     if not scalar_mode():
+        if _host.active is not None:
+            _host.active.metrics.counter("kernel.summarize.batched").inc()
         # Batched tier: the whole iteration vector in one numpy pass,
         # bit-identical to the sequential loop below (the differential
         # test in tests/core/test_timing.py pins exact equality).
@@ -84,8 +87,13 @@ def summarize(times: list[float], dismiss_sigma: float | None = 1.0) -> TimingSt
             minimum=minimum,
             maximum=maximum,
         )
+    if _host.active is not None:
+        _host.active.metrics.counter("kernel.summarize.scalar").inc()
     mean = sum(times) / n
-    var = sum((t - mean) ** 2 for t in times) / n
+    # (t - mean) * (t - mean), not ** 2: ``pow`` is not guaranteed
+    # correctly rounded and can differ from the multiply by 1 ulp,
+    # which would break bit-identity with the batched tier.
+    var = sum((t - mean) * (t - mean) for t in times) / n
     std = math.sqrt(var)
     # A spread at floating-point rounding level is not a measurement
     # effect; the filter must not fire on it.

@@ -39,11 +39,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+import os
+
 from ..core.layout import Layout
 from ..core.pingpong import PingPongResult
 from ..core.timing import TimingPolicy
 from ..machine.platform import Platform
 from ..obs import MetricsRegistry
+from ..obs import host as _host
 from .spec import CellOutcome, CellSpec, execute_spec
 from .store import ResultStore
 
@@ -156,13 +159,22 @@ def _slim_specs(
     return slims, tuple(platforms), tuple(policies)
 
 
-def _execute_chunk(slims: Sequence[_SlimSpec]) -> list[CellOutcome]:
+def _execute_chunk(
+    slims: Sequence[_SlimSpec],
+) -> tuple[list[CellOutcome], tuple[int, float, float, int] | None]:
     """Worker entry point: run one chunk of slim specs against the
     tables the initializer installed; outcomes come back in chunk
-    order."""
+    order, paired with a busy-span report when telemetry is active
+    (workers forked from a telemetry-on parent inherit ``_host.active``;
+    spawned workers re-enable via ``REPRO_HOST_TELEMETRY``)."""
     assert _WORKER_TABLES is not None, "worker initializer did not run"
     platforms, policies = _WORKER_TABLES
-    return [execute_spec(slim.rebuild(platforms, policies)) for slim in slims]
+    telemetry = _host.active
+    begin = telemetry.now() if telemetry is not None else 0.0
+    outcomes = [execute_spec(slim.rebuild(platforms, policies)) for slim in slims]
+    if telemetry is None:
+        return outcomes, None
+    return outcomes, (os.getpid(), begin, telemetry.now(), len(slims))
 
 
 class Executor:
@@ -225,23 +237,36 @@ class Executor:
         specs = list(specs)
         results: list[PingPongResult | None] = [None] * len(specs)
         pending: list[int] = []
-        for i, spec in enumerate(specs):
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                self.cells_cached += 1
-                results[i] = spec.to_result(hit, cached=True)
-                if on_result is not None:
-                    on_result(i, results[i])
-            else:
-                pending.append(i)
+        try:
+            for i, spec in enumerate(specs):
+                hit = self.cache.get(spec) if self.cache is not None else None
+                if hit is not None:
+                    self.cells_cached += 1
+                    results[i] = spec.to_result(hit, cached=True)
+                    if on_result is not None:
+                        on_result(i, results[i])
+                else:
+                    pending.append(i)
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for i in pending:
-                results[i] = self._absorb(specs[i], execute_spec(specs[i]))
-                if on_result is not None:
-                    on_result(i, results[i])
-        elif pending:
-            self._run_parallel(specs, pending, results, on_result)
+            if self.jobs == 1 or len(pending) <= 1:
+                for i in pending:
+                    if _host.active is not None:
+                        with _host.active.span(
+                            "cell.execute", scheme=specs[i].scheme
+                        ):
+                            outcome = execute_spec(specs[i])
+                    else:
+                        outcome = execute_spec(specs[i])
+                    results[i] = self._absorb(specs[i], outcome)
+                    if on_result is not None:
+                        on_result(i, results[i])
+            elif pending:
+                self._run_parallel(specs, pending, results, on_result)
+        finally:
+            # Completed cells' store counters become durable even when
+            # the batch is interrupted (same contract as cached cells).
+            if self.cache is not None:
+                self.cache.flush_counters()
         return results  # type: ignore[return-value]  # every slot is filled
 
     def _resolve_chunk_size(self, npending: int) -> int:
@@ -266,20 +291,54 @@ class Executor:
             for lo in range(0, len(pending), size)
         ]
         workers = min(self.jobs, len(chunks))
+        telemetry = _host.active
+        chunk_ids: dict[Future, int] = {}
         with _pool(workers, _init_worker, (platforms, policies)) as pool:
             try:
-                futures: dict[Future, list[int]] = {
-                    pool.submit(_execute_chunk, chunk_slims): indices
-                    for indices, chunk_slims in chunks
-                }
+                futures: dict[Future, list[int]] = {}
+                for chunk_id, (indices, chunk_slims) in enumerate(chunks):
+                    fut = pool.submit(_execute_chunk, chunk_slims)
+                    futures[fut] = indices
+                    chunk_ids[fut] = chunk_id
+                    if telemetry is not None:
+                        telemetry.event(
+                            "chunk.dispatch", chunk=chunk_id, cells=len(indices)
+                        )
                 not_done = set(futures)
+                if telemetry is not None:
+                    telemetry.metrics.gauge("exec.queue_depth").set(len(not_done))
+                    telemetry.event("exec.queue_depth", depth=len(not_done))
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    if telemetry is not None:
+                        telemetry.metrics.gauge("exec.queue_depth").set(
+                            len(not_done)
+                        )
+                        telemetry.event("exec.queue_depth", depth=len(not_done))
                     for fut in done:
                         # Results stream back per chunk; the metrics
                         # merge stays commutative, so chunk completion
                         # order is unobservable in the aggregate.
-                        for i, outcome in zip(futures[fut], fut.result()):
+                        outcomes, report = fut.result()
+                        if telemetry is not None:
+                            telemetry.metrics.counter("exec.chunks_completed").inc()
+                            telemetry.event(
+                                "chunk.complete",
+                                chunk=chunk_ids[fut],
+                                cells=len(outcomes),
+                            )
+                            if report is not None:
+                                wpid, begin, end, ncells = report
+                                telemetry.add_span(
+                                    "worker.chunk",
+                                    begin,
+                                    end,
+                                    lane=f"worker-{wpid}",
+                                    pid=wpid,
+                                    chunk=chunk_ids[fut],
+                                    cells=ncells,
+                                )
+                        for i, outcome in zip(futures[fut], outcomes):
                             results[i] = self._absorb(specs[i], outcome)
                             if on_result is not None:
                                 on_result(i, results[i])

@@ -30,12 +30,20 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..machine.fingerprint import MODEL_VERSION
+from ..obs import host as _host
 from .spec import CellOutcome, CellSpec
 
 __all__ = ["ResultStore", "StoreStats", "default_cache_dir"]
 
 #: Bump when the *file format* (not the pricing model) changes.
 _FORMAT_VERSION = 1
+
+#: Sidecar at the store root accumulating lifetime access counters
+#: across processes (never a cached cell; excluded from entry scans).
+_COUNTERS_FILE = "counters.json"
+
+#: The lifetime counters persisted in the sidecar.
+_COUNTER_KEYS = ("hits", "misses", "writes", "bytes_read", "bytes_written")
 
 
 def default_cache_dir() -> Path:
@@ -58,17 +66,32 @@ class StoreStats:
     entries: int
     bytes: int
     stale_entries: int  #: Entries under other (orphaned) salts.
+    generations_orphaned: int = 0  #: Distinct older salt generations on disk.
+    hits: int = 0  #: Lifetime cache hits (persisted counter).
+    misses: int = 0  #: Lifetime cache misses.
+    writes: int = 0  #: Lifetime cell writes.
+    bytes_read: int = 0  #: Lifetime bytes served from cache files.
+    bytes_written: int = 0  #: Lifetime bytes persisted.
 
     def render(self) -> str:
         lines = [
             f"result store: {self.root}",
             f"  model salt:  {self.salt}",
             f"  entries:     {self.entries} ({self.bytes:,} B)",
+            f"  lifetime:    {self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes",
+            f"  io:          {self.bytes_read:,} B read, "
+            f"{self.bytes_written:,} B written",
         ]
         if self.stale_entries:
             lines.append(
                 f"  stale:       {self.stale_entries} entries from older model "
                 "generations (repro cache clear reaps them)"
+            )
+        if self.generations_orphaned:
+            lines.append(
+                f"  orphaned:    {self.generations_orphaned} older model "
+                "generation(s) on disk"
             )
         return "\n".join(lines)
 
@@ -79,6 +102,14 @@ class ResultStore:
     def __init__(self, root: str | Path | None = None, *, salt: str = MODEL_VERSION):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt
+        # In-process access counters since construction (or the last
+        # flush_counters()); the persisted lifetime totals live in the
+        # counters.json sidecar.
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     # ------------------------------------------------------------------
     def path_for(self, spec: CellSpec) -> Path:
@@ -93,20 +124,41 @@ class ResultStore:
         re-executes and overwrites them.
         """
         path = self.path_for(spec)
+        telemetry = _host.active
+        begin = telemetry.now() if telemetry is not None else 0.0
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+            data = json.loads(text)
             if data.get("format") != _FORMAT_VERSION:
-                return None
-            return CellOutcome(
+                return self._miss(telemetry, begin)
+            outcome = CellOutcome(
                 times=tuple(float.fromhex(t) for t in data["times_hex"]),
                 verified=bool(data["verified"]),
                 events=int(data["events"]),
                 virtual_time=float.fromhex(data["virtual_time_hex"]),
             )
         except FileNotFoundError:
-            return None
+            return self._miss(telemetry, begin)
         except (OSError, ValueError, KeyError, TypeError):
-            return None
+            return self._miss(telemetry, begin)
+        self.hits += 1
+        self.bytes_read += len(text)
+        if telemetry is not None:
+            telemetry.metrics.counter("store.hits").inc()
+            telemetry.metrics.counter("store.bytes_read").inc(len(text))
+            telemetry.metrics.histogram("store.read_seconds", "latency").observe(
+                telemetry.now() - begin
+            )
+        return outcome
+
+    def _miss(self, telemetry, begin: float) -> None:
+        self.misses += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("store.misses").inc()
+            telemetry.metrics.histogram("store.read_seconds", "latency").observe(
+                telemetry.now() - begin
+            )
+        return None
 
     def put(self, spec: CellSpec, outcome: CellOutcome) -> Path:
         """Persist ``outcome`` under ``spec``'s digest (atomic)."""
@@ -121,19 +173,78 @@ class ResultStore:
             "events": outcome.events,
             "virtual_time_hex": outcome.virtual_time.hex(),
         }
+        telemetry = _host.active
+        begin = telemetry.now() if telemetry is not None else 0.0
+        text = json.dumps(payload, indent=1) + "\n"
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=1) + "\n")
+        tmp.write_text(text)
         os.replace(tmp, path)
+        self.writes += 1
+        self.bytes_written += len(text)
+        if telemetry is not None:
+            telemetry.metrics.counter("store.writes").inc()
+            telemetry.metrics.counter("store.bytes_written").inc(len(text))
+            telemetry.metrics.histogram("store.write_seconds", "latency").observe(
+                telemetry.now() - begin
+            )
         return path
+
+    # ------------------------------------------------------------------
+    def flush_counters(self) -> dict[str, int]:
+        """Merge this process's counter deltas into the on-disk sidecar
+        and reset them; returns the merged lifetime totals.
+
+        The merge is read-modify-write through an atomic replace, the
+        same pattern as :meth:`put` — concurrent flushers can lose each
+        other's increments in a race, which is acceptable for advisory
+        lifetime counters (cells themselves are never at risk)."""
+        deltas = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+        totals = self.persisted_counters()
+        for key in _COUNTER_KEYS:
+            totals[key] += deltas[key]
+        if any(deltas.values()):
+            path = self.root / _COUNTERS_FILE
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(totals, indent=1) + "\n")
+            os.replace(tmp, path)
+        self.hits = self.misses = self.writes = 0
+        self.bytes_read = self.bytes_written = 0
+        return totals
+
+    def persisted_counters(self) -> dict[str, int]:
+        """The lifetime totals from the sidecar (zeros if absent or
+        unreadable — counters are advisory, never load-bearing)."""
+        totals = dict.fromkeys(_COUNTER_KEYS, 0)
+        try:
+            data = json.loads((self.root / _COUNTERS_FILE).read_text())
+            for key in _COUNTER_KEYS:
+                value = data.get(key, 0)
+                if isinstance(value, int) and value >= 0:
+                    totals[key] = value
+        except (OSError, ValueError):
+            pass
+        return totals
 
     # ------------------------------------------------------------------
     def _entries(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return [p for p in self.root.rglob("*.json") if p.is_file()]
+        return [
+            p
+            for p in self.root.rglob("*.json")
+            if p.is_file() and p != self.root / _COUNTERS_FILE
+        ]
 
     def stats(self) -> StoreStats:
         current = stale = total_bytes = 0
+        salts: set[str] = set()
         salt_root = self.root / self.salt
         for path in self._entries():
             total_bytes += path.stat().st_size
@@ -141,12 +252,22 @@ class ResultStore:
                 current += 1
             else:
                 stale += 1
+                salts.add(path.relative_to(self.root).parts[0])
+        counters = self.persisted_counters()
+        for key in _COUNTER_KEYS:
+            counters[key] += getattr(self, key)
         return StoreStats(
             root=str(self.root),
             salt=self.salt,
             entries=current,
             bytes=total_bytes,
             stale_entries=stale,
+            generations_orphaned=len(salts),
+            hits=counters["hits"],
+            misses=counters["misses"],
+            writes=counters["writes"],
+            bytes_read=counters["bytes_read"],
+            bytes_written=counters["bytes_written"],
         )
 
     def clear(self) -> int:

@@ -32,6 +32,7 @@ import numpy as np
 
 from ...kernels import batch_table_for, scalar_mode
 from ...machine.access import AccessPattern, contiguous_pattern
+from ...obs import host as _host
 from ..errors import DatatypeError, PackError
 from .runs import Run, combine_patterns
 
@@ -50,6 +51,14 @@ __all__ = [
     "plan_cache_capacity",
     "DEFAULT_PLAN_CACHE_CAPACITY",
 ]
+
+#: Multi-run plans with fewer runs than this use the per-run loop: the
+#: batch table's fixed setup/indexing cost is amortized over runs, not
+#: bytes, so at few runs the loop's handful of vectorized strided
+#: copies wins (measured ~2.5x at 4 runs; crossover near 16; the table
+#: is ~100x faster by 4096 runs).  Both tiers are bit-identical, so the
+#: cutoff affects wall-clock only.
+BATCH_RUN_CUTOFF = 16
 
 #: Default bound on cached plans across all datatypes.  Each entry is a
 #: handful of small objects (runs are O(1) or shared numpy arrays), so
@@ -165,30 +174,43 @@ class TransferPlan:
         (both flat uint8); returns bytes written.
 
         Single-run plans (the common case after coalescing) go straight
-        to the run's own vectorized movement; multi-run plans use the
-        batched whole-plan kernel unless ``REPRO_SCALAR_KERNELS`` forces
-        the original per-run loop.
+        to the run's own vectorized movement; multi-run plans with at
+        least :data:`BATCH_RUN_CUTOFF` runs use the batched whole-plan
+        kernel, and smaller ones keep the per-run loop (which also
+        serves as the ``REPRO_SCALAR_KERNELS`` fallback).
         """
         runs = self.runs
         if len(runs) == 1:
+            if _host.active is not None:
+                _host.active.metrics.counter("kernel.gather.single_run").inc()
             return runs[0].gather(src_b, dst_b, dst_offset)
-        if scalar_mode():
+        if scalar_mode() or len(runs) < BATCH_RUN_CUTOFF:
+            if _host.active is not None:
+                _host.active.metrics.counter("kernel.gather.scalar").inc()
             written = dst_offset
             for run in runs:
                 written += run.gather(src_b, dst_b, written)
             return written - dst_offset
+        if _host.active is not None:
+            _host.active.metrics.counter("kernel.gather.batched").inc()
         return self._batch_table().gather(src_b, dst_b, dst_offset)
 
     def scatter(self, src_b: np.ndarray, src_offset: int, dst_b: np.ndarray) -> int:
         """Inverse of :meth:`gather`; returns bytes consumed."""
         runs = self.runs
         if len(runs) == 1:
+            if _host.active is not None:
+                _host.active.metrics.counter("kernel.scatter.single_run").inc()
             return runs[0].scatter(src_b, src_offset, dst_b)
-        if scalar_mode():
+        if scalar_mode() or len(runs) < BATCH_RUN_CUTOFF:
+            if _host.active is not None:
+                _host.active.metrics.counter("kernel.scatter.scalar").inc()
             consumed = src_offset
             for run in runs:
                 consumed += run.scatter(src_b, consumed, dst_b)
             return consumed - src_offset
+        if _host.active is not None:
+            _host.active.metrics.counter("kernel.scatter.batched").inc()
         return self._batch_table().scatter(src_b, src_offset, dst_b)
 
     def pack_into(self, src: np.ndarray, dst: np.ndarray, dst_offset: int = 0) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..kernels import max_min_rates_batched, scalar_mode
+from ..obs import host as _host
 from .routing import Router
 from .topology import Topology
 
@@ -309,11 +310,23 @@ class FlowEngine:
         if not self._flows:
             return
         flows = list(self._flows.values())
-        rates = max_min_rates(
-            [f.route for f in flows],
-            [f.demand for f in flows],
-            self.capacities,
-        )
+        if _host.active is not None:
+            begin = _host.active.now()
+            rates = max_min_rates(
+                [f.route for f in flows],
+                [f.demand for f in flows],
+                self.capacities,
+            )
+            _host.active.metrics.counter("net.resolves").inc()
+            _host.active.metrics.histogram("net.solve_seconds", "latency").observe(
+                _host.active.now() - begin
+            )
+        else:
+            rates = max_min_rates(
+                [f.route for f in flows],
+                [f.demand for f in flows],
+                self.capacities,
+            )
         next_finish = None
         for flow, rate in zip(flows, rates):
             flow.rate = rate

@@ -35,8 +35,24 @@ from .critical import (
     extract_critical_path,
     span_slack,
 )
-from .export import chrome_trace, load_chrome_trace_schema, validate_chrome_trace, write_chrome_trace
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .export import (
+    chrome_trace,
+    host_chrome_trace,
+    host_trace_events,
+    load_chrome_trace_schema,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .host import HostEvent, HostSpan, HostTelemetry, host_telemetry
+from .metrics import (
+    BUCKET_PRESETS,
+    BYTE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .recorder import NULL_RECORDER, NullRecorder, SpanRecorder
 from .spans import Span
 
@@ -56,6 +72,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "BUCKET_PRESETS",
+    "BYTE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "HostEvent",
+    "HostSpan",
+    "HostTelemetry",
+    "host_telemetry",
+    "host_chrome_trace",
+    "host_trace_events",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

@@ -54,9 +54,12 @@ from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Iterable
 
-from ..machine.platform import Platform
 from .attribution import PHASE_PRIORITY
 from .spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids an
+    # import cycle: net.flows -> obs -> critical -> machine.platform)
+    from ..machine.platform import Platform
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.trace import WaitEdge

@@ -17,19 +17,22 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..sim.trace import Tracer
 from .recorder import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from .critical import CriticalPath
+    from .host import HostTelemetry
 
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
     "load_chrome_trace_schema",
+    "host_trace_events",
+    "host_chrome_trace",
 ]
 
 _SCHEMA_PATH = Path(__file__).with_name("chrome_trace.schema.json")
@@ -48,6 +51,13 @@ _QUEUE_DEPTH = "queue.depth"
 #: flow engine (see :data:`repro.net.flows.LINK_UTIL_EVENT`); exported
 #: as one counter track per link.
 _LINK_UTIL = "link.util"
+
+#: pid of the host wall-clock timeline (the virtual-time job is pid 0).
+_HOST_PID = 1
+
+#: Host event name sampled by the executor; exported as a counter
+#: track rather than instant markers.
+_HOST_QUEUE_DEPTH = "exec.queue_depth"
 
 
 def _json_safe(value: Any) -> Any:
@@ -73,8 +83,114 @@ def _event_rank(fields: dict[str, Any]) -> int | None:
     return None
 
 
+def host_trace_events(
+    host: "HostTelemetry", *, pid: int = _HOST_PID, label: str = "host wall-clock"
+) -> list[dict[str, Any]]:
+    """Render one host-telemetry capture as a Chrome lane set.
+
+    Lanes (``main``, ``worker-<pid>``, ...) become threads of a
+    dedicated process; timestamps rebase onto the capture's origin so
+    the host timeline starts near zero.  Spans become ``X`` tiles,
+    queue-depth samples a ``C`` counter track, everything else instant
+    markers.
+    """
+    lanes = host.lanes()
+    tid_of = {lane: i for i, lane in enumerate(lanes)}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    for lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid_of[lane],
+                "args": {"name": lane},
+            }
+        )
+
+    def ts(t: float) -> float:
+        # Worker clocks share the parent's monotonic domain on Linux;
+        # clamp defensively so exotic start methods cannot produce the
+        # negative timestamps the schema forbids.
+        return max(0.0, (t - host.origin) * 1e6)
+
+    for span in host.spans:
+        args = {str(k): _json_safe(v) for k, v in span.fields.items()}
+        args["pid"] = span.pid
+        events.append(
+            {
+                "name": span.name,
+                "cat": "host",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_of[span.lane],
+                "ts": ts(span.begin),
+                "dur": max(0.0, (span.end - span.begin) * 1e6),
+                "args": args,
+            }
+        )
+    for ev in host.events:
+        if ev.name == _HOST_QUEUE_DEPTH:
+            events.append(
+                {
+                    "name": "queue depth",
+                    "cat": "host",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tid_of[ev.lane],
+                    "ts": ts(ev.time),
+                    "args": {"pending_chunks": _json_safe(ev.fields.get("depth", 0))},
+                }
+            )
+            continue
+        events.append(
+            {
+                "name": ev.name,
+                "cat": "host",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid_of[ev.lane],
+                "ts": ts(ev.time),
+                "args": {str(k): _json_safe(v) for k, v in ev.fields.items()},
+            }
+        )
+    return events
+
+
+def host_chrome_trace(
+    sections: "HostTelemetry | Sequence[tuple[str, HostTelemetry]]",
+) -> dict[str, Any]:
+    """A standalone host-timeline trace document.
+
+    Accepts one capture, or ``[(label, capture), ...]`` — each capture
+    then gets its own process (the perf-gate runner exports one section
+    per gate).
+    """
+    from .host import HostTelemetry  # local: avoid import cycle at module load
+
+    if isinstance(sections, HostTelemetry):
+        sections = [("host wall-clock", sections)]
+    events: list[dict[str, Any]] = []
+    for i, (label, host) in enumerate(sections):
+        events.extend(host_trace_events(host, pid=_HOST_PID + i, label=label))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 def chrome_trace(
-    tracer: Tracer, *, pid: int = 0, critical_path: "CriticalPath | None" = None
+    tracer: Tracer,
+    *,
+    pid: int = 0,
+    critical_path: "CriticalPath | None" = None,
+    host: "HostTelemetry | None" = None,
 ) -> dict[str, Any]:
     """Render a tracer/recorder as a Chrome ``trace_event`` document.
 
@@ -83,6 +199,9 @@ def chrome_trace(
     virtual seconds to microseconds, the trace-viewer convention.
     ``critical_path`` adds the highlighted critical-path lane plus flow
     arrows at the points where the path hands off between tasks.
+    ``host`` appends the wall-clock host-timeline lane set as a second
+    process alongside the virtual-time lanes (its timestamps are host
+    microseconds since the capture began — a separate clock domain).
     """
     events: list[dict[str, Any]] = []
     tids: set[int] = set()
@@ -192,6 +311,8 @@ def chrome_trace(
                 "args": {"name": label},
             }
         )
+    if host is not None:
+        events.extend(host_trace_events(host))
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
@@ -254,12 +375,20 @@ def _critical_events(path: "CriticalPath", pid: int) -> list[dict[str, Any]]:
 
 
 def write_chrome_trace(
-    tracer: Tracer, path: str | Path, *, critical_path: "CriticalPath | None" = None
+    tracer: Tracer,
+    path: str | Path,
+    *,
+    critical_path: "CriticalPath | None" = None,
+    host: "HostTelemetry | None" = None,
 ) -> Path:
     """Export ``tracer`` to ``path`` as Chrome trace JSON."""
     path = Path(path)
     path.write_text(
-        json.dumps(chrome_trace(tracer, critical_path=critical_path), indent=1, sort_keys=True)
+        json.dumps(
+            chrome_trace(tracer, critical_path=critical_path, host=host),
+            indent=1,
+            sort_keys=True,
+        )
     )
     return path
 

@@ -18,7 +18,15 @@ import math
 from bisect import bisect_left
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BYTE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "BUCKET_PRESETS",
+]
 
 
 class Counter:
@@ -78,16 +86,48 @@ class Gauge:
 #: Power-of-4 byte-size buckets: 1B .. 4GB, plus overflow.
 _DEFAULT_BUCKETS = tuple(4**i for i in range(17))
 
+#: The default preset under its observable name (message/payload sizes).
+BYTE_BUCKETS = _DEFAULT_BUCKETS
+
+#: Wall-clock latency buckets: power-of-4 seconds from 1 us to ~67 s,
+#: plus overflow — the right shape for host-side IO and solver timings,
+#: where the byte-shaped default would dump everything into bucket 0.
+LATENCY_BUCKETS = tuple(1e-6 * 4**i for i in range(14))
+
+#: Named presets accepted wherever a bucket tuple is (``Histogram`` and
+#: ``MetricsRegistry.histogram``).
+BUCKET_PRESETS: dict[str, tuple[float, ...]] = {
+    "bytes": BYTE_BUCKETS,
+    "latency": LATENCY_BUCKETS,
+}
+
+
+def resolve_buckets(buckets: "str | tuple[float, ...] | None") -> tuple[float, ...]:
+    """Turn a preset name / explicit tuple / ``None`` into boundaries."""
+    if buckets is None:
+        return _DEFAULT_BUCKETS
+    if isinstance(buckets, str):
+        try:
+            return BUCKET_PRESETS[buckets]
+        except KeyError:
+            raise ValueError(
+                f"unknown bucket preset {buckets!r} "
+                f"(available: {sorted(BUCKET_PRESETS)})"
+            ) from None
+    return tuple(buckets)
+
 
 class Histogram:
     """Bucketed distribution with exact count/sum/min/max."""
 
     __slots__ = ("name", "buckets", "bucket_counts", "count", "total", "min", "max")
 
-    def __init__(self, name: str, buckets: tuple[float, ...] = _DEFAULT_BUCKETS):
+    def __init__(
+        self, name: str, buckets: str | tuple[float, ...] | None = None
+    ):
         self.name = name
-        self.buckets = buckets
-        self.bucket_counts = [0] * (len(buckets) + 1)
+        self.buckets = resolve_buckets(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -108,6 +148,44 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-quantile, ``q`` in ``[0, 1]``.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        ``q``-th observation and interpolates linearly inside it; the
+        bucket edges are clamped by the exact ``min``/``max``, so the
+        estimate always lies within the observed range and ``q=0`` /
+        ``q=1`` return the extrema exactly.  Only the bucket boundaries
+        bound the error — the instrument stays O(buckets) regardless of
+        observation count, which is the whole point.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty: no percentiles")
+        target = q * self.count
+        if target <= 0:
+            return self.min
+        cum = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                # Bucket i spans (buckets[i-1], buckets[i]]; clamp both
+                # edges by the exact extrema (the overflow bucket has no
+                # upper boundary, and the data may occupy only part of
+                # its bucket).
+                lo = self.buckets[i - 1] if i > 0 else self.min
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                lo = min(max(lo, self.min), self.max)
+                hi = min(max(hi, self.min), self.max)
+                if hi < lo:
+                    hi = lo
+                fraction = (target - cum) / n
+                return lo + fraction * (hi - lo)
+            cum += n
+        return self.max  # pragma: no cover - float round-off guard
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in (commutative: counts and sums add,
@@ -150,10 +228,23 @@ class MetricsRegistry:
             g = self._gauges[name] = Gauge(name)
         return g
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, buckets: str | tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The named histogram, created on first use.
+
+        ``buckets`` (a preset name or explicit boundary tuple) applies
+        on first use; later calls may omit it or must agree — silently
+        honouring a different layout would break merge commutativity.
+        """
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(name)
+            h = self._histograms[name] = Histogram(name, buckets)
+        elif buckets is not None and resolve_buckets(buckets) != h.buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with a different "
+                "bucket layout"
+            )
         return h
 
     # ------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""The JSONL run ledger: every perf measurement, self-describing.
+
+One line per recorded run in ``<ledger dir>/ledger.jsonl`` (default
+``~/.cache/repro-mpi/perf-ledger/``, or ``$REPRO_CACHE_DIR/perf-ledger``
+when the cache dir is redirected).  A record carries everything needed
+to interpret it months later on a different machine: the git sha it
+measured, a machine fingerprint, the pricing-model generation
+(``MODEL_VERSION``), per-gate metrics *with raw samples* (so diffs can
+derive noise bands), and the host-telemetry snapshot of the run.
+
+Privacy: the fingerprint never stores the hostname or username — the
+host identity is a truncated SHA-256 of the hostname, enough to tell
+"same machine as last time" apart from "different machine", nothing
+more.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform as _platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..exec.store import default_cache_dir
+from ..machine.fingerprint import MODEL_VERSION
+
+__all__ = [
+    "Ledger",
+    "LedgerEntry",
+    "LEDGER_VERSION",
+    "default_ledger_dir",
+    "git_sha",
+    "machine_fingerprint",
+    "usable_cpus",
+]
+
+#: Bump when the record *shape* changes (readers skip unknown versions).
+LEDGER_VERSION = 1
+
+
+def default_ledger_dir() -> Path:
+    """``<cache dir>/perf-ledger`` — rides the same ``$REPRO_CACHE_DIR``
+    override as the result store, so tests isolate both at once."""
+    return default_cache_dir() / "perf-ledger"
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """A privacy-preserving description of the measuring host.
+
+    The hostname is hashed (truncated SHA-256), never stored in the
+    clear — ledger files may be uploaded as CI artifacts, and a stable
+    opaque id is all a diff needs to warn "these runs came from
+    different machines"."""
+    hostname = _platform.node() or "unknown"
+    return {
+        "host_id": hashlib.sha256(hostname.encode()).hexdigest()[:12],
+        "cpus": usable_cpus(),
+        "system": _platform.system(),
+        "machine": _platform.machine(),
+        "python": _platform.python_version(),
+    }
+
+
+def git_sha(repo: str | Path | None = None) -> str:
+    """The checked-out commit of ``repo`` (default: the repository this
+    package was imported from), or ``"unknown"`` outside a git repo."""
+    if repo is None:
+        for parent in Path(__file__).resolve().parents:
+            if (parent / ".git").exists():
+                repo = parent
+                break
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo) if repo is not None else None,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded perf run (one JSONL line)."""
+
+    sha: str
+    recorded_at: str  #: ISO-8601 UTC
+    machine: dict[str, Any]
+    model_version: str
+    gates: tuple[dict[str, Any], ...]  #: GateResult.to_json() dicts
+    options: dict[str, Any] = field(default_factory=dict)
+    version: int = LEDGER_VERSION
+
+    @classmethod
+    def record(
+        cls,
+        gates: list[dict[str, Any]],
+        *,
+        sha: str | None = None,
+        options: dict[str, Any] | None = None,
+    ) -> "LedgerEntry":
+        """Build an entry for the current tree and host, stamped now."""
+        return cls(
+            sha=sha if sha is not None else git_sha(),
+            recorded_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            machine=machine_fingerprint(),
+            model_version=MODEL_VERSION,
+            gates=tuple(gates),
+            options=dict(options or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "sha": self.sha,
+            "recorded_at": self.recorded_at,
+            "machine": self.machine,
+            "model_version": self.model_version,
+            "gates": list(self.gates),
+            "options": self.options,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "LedgerEntry":
+        return cls(
+            sha=data["sha"],
+            recorded_at=data["recorded_at"],
+            machine=data["machine"],
+            model_version=data["model_version"],
+            gates=tuple(data["gates"]),
+            options=data.get("options", {}),
+            version=data.get("version", LEDGER_VERSION),
+        )
+
+    # ------------------------------------------------------------------
+    def gate(self, name: str) -> dict[str, Any] | None:
+        for g in self.gates:
+            if g.get("gate") == name:
+                return g
+        return None
+
+    def passed(self) -> bool:
+        return all(g.get("passed", False) for g in self.gates)
+
+    def describe(self) -> str:
+        verdicts = []
+        for g in self.gates:
+            mark = "ok" if g.get("passed") else "FAIL"
+            if all(c.get("skipped") for c in g.get("checks", [])):
+                mark = "skip"
+            verdicts.append(f"{g.get('gate')}={mark}")
+        return (
+            f"{self.sha[:12]}  {self.recorded_at}  "
+            f"host {self.machine.get('host_id', '?')} "
+            f"({self.machine.get('cpus', '?')} cpu)  "
+            + " ".join(verdicts)
+        )
+
+
+class Ledger:
+    """Append-only JSONL history of perf runs."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_ledger_dir()
+
+    @property
+    def path(self) -> Path:
+        return self.root / "ledger.jsonl"
+
+    # ------------------------------------------------------------------
+    def append(self, entry: LedgerEntry) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(entry.to_json(), sort_keys=True) + "\n")
+        return self.path
+
+    def entries(self) -> list[LedgerEntry]:
+        """Every readable record, oldest first (malformed lines and
+        unknown versions are skipped, not fatal — the ledger is shared
+        across tree revisions)."""
+        out: list[LedgerEntry] = []
+        for line in self._lines():
+            try:
+                data = json.loads(line)
+                if data.get("version", LEDGER_VERSION) > LEDGER_VERSION:
+                    continue
+                out.append(LedgerEntry.from_json(data))
+            except (ValueError, KeyError, TypeError):
+                continue
+        return out
+
+    def _lines(self) -> Iterator[str]:
+        try:
+            with self.path.open() as fh:
+                yield from fh
+        except OSError:
+            return
+
+    # ------------------------------------------------------------------
+    def resolve(self, ref: str) -> LedgerEntry:
+        """Find one entry by reference.
+
+        * ``latest`` — the newest record;
+        * ``@N`` — positional index (``@0`` oldest, ``@-1`` newest);
+        * anything else — a git-sha prefix; the newest match wins.
+        """
+        entries = self.entries()
+        if not entries:
+            raise LookupError(f"perf ledger at {self.path} is empty")
+        if ref == "latest":
+            return entries[-1]
+        if ref.startswith("@"):
+            try:
+                return entries[int(ref[1:])]
+            except (ValueError, IndexError):
+                raise LookupError(
+                    f"no ledger entry {ref!r} ({len(entries)} recorded)"
+                ) from None
+        for entry in reversed(entries):
+            if entry.sha.startswith(ref):
+                return entry
+        raise LookupError(f"no ledger entry matches sha prefix {ref!r}")

@@ -1,0 +1,38 @@
+"""Render the perf ledger as a human-readable history report."""
+
+from __future__ import annotations
+
+from .ledger import LedgerEntry
+
+__all__ = ["render_report"]
+
+
+def render_report(entries: list[LedgerEntry], *, limit: int | None = None) -> str:
+    """Newest-first summary of recorded runs: one block per entry with
+    the per-gate verdicts and headline metrics."""
+    if not entries:
+        return "perf ledger is empty (run 'repro perf record' first)"
+    shown = list(reversed(entries))
+    if limit is not None:
+        shown = shown[:limit]
+    lines = [f"perf ledger: {len(entries)} recorded run(s)"]
+    for entry in shown:
+        lines.append("")
+        lines.append(entry.describe())
+        for gate in entry.gates:
+            verdict = "PASS" if gate.get("passed") else "FAIL"
+            checks = gate.get("checks", [])
+            if checks and all(c.get("skipped") for c in checks):
+                verdict = "SKIP"
+            skipped = sum(1 for c in checks if c.get("skipped"))
+            suffix = f" ({skipped} check(s) skipped)" if skipped else ""
+            lines.append(
+                f"  {gate.get('gate', '?'):22s} {verdict}{suffix}  "
+                f"[{gate.get('seconds', 0.0):.1f}s]"
+            )
+            metrics = gate.get("metrics", {})
+            info = set(gate.get("informational", []))
+            for name in sorted(metrics):
+                tag = " (informational)" if name in info else ""
+                lines.append(f"      {name:24s} {metrics[name]:.6g}{tag}")
+    return "\n".join(lines)

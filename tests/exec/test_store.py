@@ -94,6 +94,89 @@ def test_stats_and_clear(tmp_path, ideal, skx):
     assert store.clear() == 0  # idempotent on an empty/absent root
 
 
+def test_access_counters_track_hits_misses_writes(tmp_path, ideal):
+    store = ResultStore(tmp_path)
+    spec = small_spec(ideal)
+    store.get(spec)  # miss
+    store.put(spec, execute_spec(spec))  # write
+    store.get(spec)  # hit
+    assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+    assert store.bytes_written > 0
+    assert store.bytes_read == store.path_for(spec).stat().st_size
+    stats = store.stats()
+    assert stats.hits == 1 and stats.misses == 1 and stats.writes == 1
+    assert "1 hits, 1 misses, 1 writes" in stats.render()
+    assert "B read" in stats.render()
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path, ideal):
+    store = ResultStore(tmp_path)
+    spec = small_spec(ideal)
+    store.put(spec, execute_spec(spec))
+    store.path_for(spec).write_text("{ truncated")
+    store.get(spec)
+    assert store.misses == 1 and store.hits == 0
+
+
+def test_flush_counters_persists_lifetime_totals(tmp_path, ideal):
+    spec = small_spec(ideal)
+    first = ResultStore(tmp_path)
+    first.get(spec)
+    first.put(spec, execute_spec(spec))
+    totals = first.flush_counters()
+    assert totals["misses"] == 1 and totals["writes"] == 1
+    # Flushing resets the in-process deltas ...
+    assert first.misses == 0 and first.writes == 0
+    # ... and a fresh store (new process, same root) sees the history.
+    second = ResultStore(tmp_path)
+    assert second.persisted_counters()["writes"] == 1
+    second.get(spec)
+    second.flush_counters()
+    merged = ResultStore(tmp_path).persisted_counters()
+    assert merged["hits"] == 1 and merged["misses"] == 1 and merged["writes"] == 1
+    # stats() folds persisted + in-process counters together.
+    third = ResultStore(tmp_path)
+    third.get(spec)
+    assert third.stats().hits == 2
+
+
+def test_counters_sidecar_is_not_a_cache_entry(tmp_path, ideal):
+    store = ResultStore(tmp_path)
+    spec = small_spec(ideal)
+    store.put(spec, execute_spec(spec))
+    store.flush_counters()
+    assert (tmp_path / "counters.json").exists()
+    stats = store.stats()
+    assert stats.entries == 1 and stats.stale_entries == 0
+    # clear() removes everything, including the sidecar, idempotently.
+    assert store.clear() == 1
+    assert not (tmp_path / "counters.json").exists()
+    assert ResultStore(tmp_path).persisted_counters()["writes"] == 0
+
+
+def test_corrupt_sidecar_reads_as_zero(tmp_path):
+    (tmp_path / "counters.json").write_text("not json at all")
+    store = ResultStore(tmp_path)
+    assert store.persisted_counters() == {
+        "hits": 0,
+        "misses": 0,
+        "writes": 0,
+        "bytes_read": 0,
+        "bytes_written": 0,
+    }
+    # Negative / non-int values are ignored, not trusted.
+    (tmp_path / "counters.json").write_text('{"hits": -3, "writes": "many"}')
+    assert store.persisted_counters()["hits"] == 0
+    assert store.persisted_counters()["writes"] == 0
+
+
+def test_flush_without_activity_touches_nothing(tmp_path):
+    store = ResultStore(tmp_path)
+    totals = store.flush_counters()
+    assert all(v == 0 for v in totals.values())
+    assert not (tmp_path / "counters.json").exists()
+
+
 def test_entry_files_carry_human_provenance(tmp_path, ideal):
     spec = small_spec(ideal)
     store = ResultStore(tmp_path)

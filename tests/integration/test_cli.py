@@ -224,3 +224,118 @@ def test_parser_rejects_unknown_figure():
 def test_parser_rejects_unknown_platform():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "--platform", "nope"])
+
+
+def test_cache_stats_reports_lifetime_counters(capsys):
+    """Satellite: ``repro cache stats`` surfaces the persisted store
+    counters (hits/misses/writes and IO volume)."""
+    cmd = ["sweep", "--platform", "ideal", "--min-bytes", "1000",
+           "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+           "--schemes", "reference"]
+    assert main(cmd) == 0  # one miss + one write
+    assert main(cmd) == 0  # one hit
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "lifetime:    1 hits, 1 misses, 1 writes" in out
+    assert "io:" in out and "B written" in out
+
+
+# ----------------------------------------------------------------------
+# repro perf — quick settings: tiny kernel workload, thresholds loosened
+# so only the bit-identity checks (which must hold at any size) gate.
+# ----------------------------------------------------------------------
+QUICK_KERNEL_GATE = [
+    "--gate", "kernel-speedup",
+    "--option", "kernels.inner_repeats=1",
+    "--option", "kernels.n_runs=64",
+    "--option", "kernels.min_gather_speedup=0.0001",
+    "--option", "kernels.min_flow_speedup=0.0001",
+]
+
+
+def test_perf_gate_runs_and_renders(capsys):
+    assert main(["perf", "gate", *QUICK_KERNEL_GATE]) == 0
+    out = capsys.readouterr().out
+    assert "== gate kernel-speedup ==" in out
+    assert "tier-identity: ok (tiers_identical = 1" in out
+    assert "OK: 1 gate(s)" in out
+
+
+def test_perf_gate_failure_exit_code(capsys):
+    cmd = ["perf", "gate", *QUICK_KERNEL_GATE]
+    cmd[cmd.index("kernels.min_gather_speedup=0.0001")] = (
+        "kernels.min_gather_speedup=1e9"
+    )
+    assert main(cmd) == 1
+    assert "FAIL: gather" in capsys.readouterr().out
+
+
+def test_perf_record_diff_report_roundtrip(tmp_path, capsys):
+    ledger_dir = str(tmp_path / "ledger")
+    record = ["perf", "record", *QUICK_KERNEL_GATE, "--ledger-dir", ledger_dir]
+    assert main(record) == 0
+    assert main(record) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out
+
+    assert main(["perf", "report", "--ledger-dir", ledger_dir]) == 0
+    report = capsys.readouterr().out
+    assert "2 recorded run(s)" in report
+    assert "kernel-speedup" in report and "PASS" in report
+
+    assert main(["perf", "diff", "@0", "latest",
+                 "--ledger-dir", ledger_dir]) == 0
+    diff = capsys.readouterr().out
+    assert "perf diff:" in diff
+    assert "noise band" in diff
+
+    # Unknown refs are a clean error, not a traceback.
+    assert main(["perf", "diff", "@0", "beef",
+                 "--ledger-dir", ledger_dir]) == 1
+    assert "no ledger entry" in capsys.readouterr().err
+
+
+def test_perf_gate_writes_valid_host_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace = tmp_path / "host.json"
+    assert main(["perf", "gate", *QUICK_KERNEL_GATE,
+                 "--host-trace", str(trace)]) == 0
+    assert "wrote host Chrome trace" in capsys.readouterr().out
+    doc = json.loads(trace.read_text())
+    validate_chrome_trace(doc)
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert "kernel-speedup" in names
+
+
+def test_perf_gate_unknown_gate_is_clean_error(capsys):
+    assert main(["perf", "gate", "--gate", "nope"]) == 1
+    assert "unknown gate" in capsys.readouterr().err
+
+
+def test_perf_option_parsing_rejects_malformed():
+    with pytest.raises(SystemExit):
+        main(["perf", "gate", "--gate", "kernel-speedup", "--option", "noequals"])
+
+
+def test_sweep_host_trace_flag(tmp_path, capsys):
+    """``repro sweep --host-trace`` captures the executor's wall-clock
+    lanes alongside the normal sweep output."""
+    import json
+
+    from repro.obs import host as host_mod
+    from repro.obs import validate_chrome_trace
+
+    trace = tmp_path / "host.json"
+    assert main(["sweep", "--platform", "ideal", "--min-bytes", "1000",
+                 "--max-bytes", "1000", "--iterations", "2", "--no-flush",
+                 "--schemes", "reference", "--host-trace", str(trace)]) == 0
+    assert host_mod.active is None  # capture ended with the command
+    doc = json.loads(trace.read_text())
+    validate_chrome_trace(doc)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert any(e["name"] == "cell.execute" for e in spans)

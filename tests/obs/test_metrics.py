@@ -6,10 +6,20 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
 from repro.mpi import SimBuffer, run_mpi
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    BUCKET_PRESETS,
+    BYTE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class TestInstruments:
@@ -52,6 +62,144 @@ class TestInstruments:
         h = Histogram("empty")
         assert h.mean == 0.0
         assert h.count == 0 and h.min == math.inf
+
+
+class TestBucketPresets:
+    def test_default_is_byte_shaped(self):
+        assert Histogram("h").buckets == BYTE_BUCKETS
+        assert Histogram("h", "bytes").buckets == BYTE_BUCKETS
+
+    def test_latency_preset_covers_microseconds(self):
+        h = Histogram("io", "latency")
+        assert h.buckets == LATENCY_BUCKETS
+        # A 50 us IO lands mid-range, not in bucket 0 or the overflow.
+        h.observe(50e-6)
+        hits = [i for i, n in enumerate(h.bucket_counts) if n]
+        assert 0 < hits[0] < len(h.buckets)
+
+    def test_explicit_tuple_accepted(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        h.observe(3.0)
+        assert h.bucket_counts == [0, 0, 1, 0]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown bucket preset"):
+            Histogram("h", "fortnights")
+        assert set(BUCKET_PRESETS) == {"bytes", "latency"}
+
+    def test_registry_rejects_layout_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("io", "latency")
+        assert reg.histogram("io") is reg.histogram("io", "latency")
+        with pytest.raises(ValueError, match="different.*bucket layout"):
+            reg.histogram("io", "bytes")
+
+
+class TestPercentile:
+    def test_extrema_are_exact(self):
+        h = Histogram("h")
+        for v in (3, 17, 900, 70_000):
+            h.observe(v)
+        assert h.percentile(0.0) == 3
+        assert h.percentile(1.0) == 70_000
+
+    def test_single_value_every_quantile(self):
+        h = Histogram("h")
+        h.observe(42)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 42
+
+    def test_interpolates_inside_a_bucket(self):
+        # 100 observations spread through bucket (4, 16]: the median
+        # estimate must land strictly inside the (clamped) bucket.
+        h = Histogram("h")
+        for i in range(100):
+            h.observe(5 + (i % 11))
+        p50 = h.percentile(0.5)
+        assert h.min < p50 < h.max
+
+    def test_bucket_error_bound(self):
+        """The estimate can be off by at most one bucket width: for any
+        data, percentile(q) lies within the bucket really holding the
+        q-th observation (clamped to the observed range)."""
+        h = Histogram("h")
+        values = sorted([1, 2, 3, 70, 80, 1000, 5000, 5001, 5002, 9_999_999])
+        for v in values:
+            h.observe(v)
+        for q in (0.1, 0.3, 0.5, 0.7, 0.9):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            est = h.percentile(q)
+            # Locate exact's bucket and allow its full width.
+            import bisect
+
+            i = bisect.bisect_left(h.buckets, exact)
+            lo = h.buckets[i - 1] if i > 0 else h.min
+            hi = h.buckets[i] if i < len(h.buckets) else h.max
+            assert min(lo, h.min) <= est <= max(hi, h.max)
+
+    def test_rejects_bad_q_and_empty(self):
+        h = Histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError, match="must be in"):
+            h.percentile(1.5)
+        with pytest.raises(ValueError, match="empty"):
+            Histogram("nil").percentile(0.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-7, max_value=1e11, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_always_within_observed_range(self, values, q):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        p = h.percentile(q)
+        assert h.min <= p <= h.max
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-7, max_value=1e11, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.floats(min_value=1e-7, max_value=1e11, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_merge_commutes_and_preserves_percentiles(self, xs, ys):
+        """merge(a, b) and merge(b, a) agree bucket-for-bucket, so every
+        percentile estimate is merge-order independent."""
+
+        def build(vals):
+            h = Histogram("h")
+            for v in vals:
+                h.observe(v)
+            return h
+
+        ab = build(xs)
+        ab.merge(build(ys))
+        ba = build(ys)
+        ba.merge(build(xs))
+        assert ab.bucket_counts == ba.bucket_counts
+        assert ab.count == ba.count and ab.total == ba.total
+        assert ab.min == ba.min and ab.max == ba.max
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert ab.percentile(q) == ba.percentile(q)
+        # And the merge is lossless w.r.t. observing everything at once.
+        both = build(xs + ys)
+        assert ab.bucket_counts == both.bucket_counts
+
+    def test_merge_rejects_differing_layouts(self):
+        a = Histogram("h", "latency")
+        b = Histogram("h", "bytes")
+        with pytest.raises(ValueError, match="differing bucket layouts"):
+            a.merge(b)
 
 
 class TestRegistry:

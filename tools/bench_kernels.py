@@ -1,21 +1,12 @@
 #!/usr/bin/env python
 """Guard the batch-kernel layer's wall-clock wins (``repro.kernels``).
 
-Times the scalar and batched tiers of the two hottest kernels head to
-head, in-process, on fixed synthetic workloads:
-
-* **gather/scatter** — a multi-run :class:`TransferPlan` (thousands of
-  mixed-length contiguous runs, the layout shape that made the per-run
-  Python loop the pack hot spot) moved through both tiers; the batched
-  tier must win by ``--min-gather-speedup`` (default 2x).
-* **flow re-solve** — ``max_min_rates`` on a randomized many-flow,
-  many-link contention problem, scalar progressive filling vs the
-  vectorized solver; gated by ``--min-flow-speedup`` (default 1x: never
-  regress).
-
-Both benches re-check bit-identity on the side (same bytes, exactly
-equal rates) — a speedup from a kernel that drifts is no win at all.
-Results are recorded in ``BENCH_kernels.json``.
+Thin shim over the ``kernel-speedup`` entry of the :mod:`repro.perf`
+gate registry (``repro perf gate --gate kernel-speedup``), kept for
+the historical entry point and the ``BENCH_kernels.json`` record it
+maintains.  The measurement body (multi-run gather/scatter and the
+max-min flow re-solve, both tiers, with bit-identity re-checked on the
+side) lives in :mod:`repro.perf.workloads`.
 
 Usage::
 
@@ -26,128 +17,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
-import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-import numpy as np  # noqa: E402
-
-from repro.kernels import forced_scalar  # noqa: E402
-from repro.kernels.flows import max_min_rates_batched  # noqa: E402
-from repro.mpi.datatypes.plan import TransferPlan  # noqa: E402
-from repro.mpi.datatypes.runs import ContigRun, combine_patterns  # noqa: E402
-from repro.net.flows import max_min_rates_scalar  # noqa: E402
-
-#: Mixed-length contiguous runs: two length classes, so the batched
-#: kernel needs two fancy-indexing passes while the scalar tier loops
-#: once per run.
-N_RUNS = 4096
-RUN_LENGTHS = (7, 13)
-RUN_GAP = 3
-
-#: The contention problem for the flow-solver leg.
-N_FLOWS = 256
-N_LINKS = 128
-ROUTE_HOPS = (4, 10)
-FLOW_SEED = 20260808
-
-
-def build_plan() -> TransferPlan:
-    """A hand-built multi-run plan (no datatype needed): ``N_RUNS``
-    alternating-length blocks with small gaps."""
-    runs = []
-    offset = 0
-    for i in range(N_RUNS):
-        length = RUN_LENGTHS[i % len(RUN_LENGTHS)]
-        runs.append(ContigRun(offset, length))
-        offset += length + RUN_GAP
-    return TransferPlan("bench-mixed-runs", 1, sum(r.length for r in runs),
-                        runs, combine_patterns(runs))
-
-
-def bench_gather(repeats: int) -> dict:
-    plan = build_plan()
-    src = np.arange(plan.max_end, dtype=np.int64).view(np.uint8)[: plan.max_end].copy()
-    packed_scalar = np.zeros(plan.nbytes, dtype=np.uint8)
-    packed_batched = np.zeros(plan.nbytes, dtype=np.uint8)
-    unpacked_scalar = np.zeros(plan.max_end, dtype=np.uint8)
-    unpacked_batched = np.zeros(plan.max_end, dtype=np.uint8)
-
-    def best(fn) -> float:
-        t_best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            t_best = min(t_best, time.perf_counter() - t0)
-        return t_best
-
-    # Warm both tiers (the batch table compiles once, like a plan).
-    with forced_scalar():
-        plan.gather(src, packed_scalar)
-        plan.scatter(packed_scalar, 0, unpacked_scalar)
-    plan.gather(src, packed_batched)
-    plan.scatter(packed_batched, 0, unpacked_batched)
-    if not np.array_equal(packed_scalar, packed_batched):
-        raise SystemExit("FAIL: batched gather bytes differ from scalar")
-    if not np.array_equal(unpacked_scalar, unpacked_batched):
-        raise SystemExit("FAIL: batched scatter bytes differ from scalar")
-
-    with forced_scalar():
-        t_gather_scalar = best(lambda: plan.gather(src, packed_scalar))
-        t_scatter_scalar = best(lambda: plan.scatter(packed_scalar, 0, unpacked_scalar))
-    t_gather_batched = best(lambda: plan.gather(src, packed_batched))
-    t_scatter_batched = best(lambda: plan.scatter(packed_batched, 0, unpacked_batched))
-    return {
-        "workload": f"{N_RUNS} contiguous runs, lengths {list(RUN_LENGTHS)}, "
-                    f"{plan.nbytes} payload bytes",
-        "gather_scalar_us": round(t_gather_scalar * 1e6, 1),
-        "gather_batched_us": round(t_gather_batched * 1e6, 1),
-        "scatter_scalar_us": round(t_scatter_scalar * 1e6, 1),
-        "scatter_batched_us": round(t_scatter_batched * 1e6, 1),
-        "gather_speedup": round(t_gather_scalar / t_gather_batched, 2),
-        "scatter_speedup": round(t_scatter_scalar / t_scatter_batched, 2),
-    }
-
-
-def build_flow_problem() -> tuple[list[tuple[int, ...]], list[float], list[float]]:
-    rng = random.Random(FLOW_SEED)
-    routes = []
-    for _ in range(N_FLOWS):
-        hops = rng.randint(*ROUTE_HOPS)
-        routes.append(tuple(rng.sample(range(N_LINKS), hops)))
-    demands = [rng.uniform(0.5, 5.0) for _ in range(N_FLOWS)]
-    capacities = [rng.uniform(1.0, 20.0) for _ in range(N_LINKS)]
-    return routes, demands, capacities
-
-
-def bench_flows(repeats: int) -> dict:
-    routes, demands, capacities = build_flow_problem()
-    scalar_rates = max_min_rates_scalar(routes, demands, capacities)
-    batched_rates = max_min_rates_batched(routes, demands, capacities)
-    if scalar_rates != batched_rates:
-        raise SystemExit("FAIL: vectorized flow rates differ from scalar")
-
-    def best(fn) -> float:
-        t_best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            t_best = min(t_best, time.perf_counter() - t0)
-        return t_best
-
-    t_scalar = best(lambda: max_min_rates_scalar(routes, demands, capacities))
-    t_batched = best(lambda: max_min_rates_batched(routes, demands, capacities))
-    return {
-        "workload": f"{N_FLOWS} flows x {ROUTE_HOPS[0]}-{ROUTE_HOPS[1]} hops "
-                    f"over {N_LINKS} links, seed {FLOW_SEED}",
-        "resolve_scalar_us": round(t_scalar * 1e6, 1),
-        "resolve_batched_us": round(t_batched * 1e6, 1),
-        "resolve_speedup": round(t_scalar / t_batched, 2),
-    }
+from repro.perf import get_gate, run_gate  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,44 +35,44 @@ def main(argv: list[str] | None = None) -> int:
                         help="required scalar/batched ratio for the flow "
                              "re-solve (default 1.0: never regress)")
     parser.add_argument("--repeats", type=int, default=7,
-                        help="timing repetitions per tier; the minimum is used")
+                        help="timing repetitions per tier; the best is used "
+                             "inside each sample")
     parser.add_argument("--output", default=str(REPO / "BENCH_kernels.json"),
                         help="where to record the measurement")
     args = parser.parse_args(argv)
 
-    gather = bench_gather(args.repeats)
-    flows = bench_flows(args.repeats)
+    options = {
+        "kernels.min_gather_speedup": args.min_gather_speedup,
+        "kernels.min_flow_speedup": args.min_flow_speedup,
+        "kernels.inner_repeats": args.repeats,
+    }
+    result, _ = run_gate(get_gate("kernel-speedup"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
+
+    m = result.metrics
     record = {
-        "gather_scatter": gather,
-        "flow_resolve": flows,
+        "gather_scatter": {
+            "workload": result.extra.get("workload", ""),
+            "gather_scalar_us": round(m["gather_scalar_us"], 1),
+            "gather_batched_us": round(m["gather_batched_us"], 1),
+            "scatter_scalar_us": round(m["scatter_scalar_us"], 1),
+            "scatter_batched_us": round(m["scatter_batched_us"], 1),
+            "gather_speedup": round(m["gather_speedup"], 2),
+            "scatter_speedup": round(m["scatter_speedup"], 2),
+        },
+        "flow_resolve": {
+            "resolve_scalar_us": round(m["resolve_scalar_us"], 1),
+            "resolve_batched_us": round(m["resolve_batched_us"], 1),
+            "resolve_speedup": round(m["resolve_speedup"], 2),
+        },
         "gather_gate": {"checked": True, "min": args.min_gather_speedup},
         "flow_gate": {"checked": True, "min": args.min_flow_speedup},
     }
     Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
 
-    print(f"gather:  scalar {gather['gather_scalar_us']:8.1f} us  "
-          f"batched {gather['gather_batched_us']:8.1f} us  "
-          f"({gather['gather_speedup']:.2f}x)")
-    print(f"scatter: scalar {gather['scatter_scalar_us']:8.1f} us  "
-          f"batched {gather['scatter_batched_us']:8.1f} us  "
-          f"({gather['scatter_speedup']:.2f}x)")
-    print(f"resolve: scalar {flows['resolve_scalar_us']:8.1f} us  "
-          f"batched {flows['resolve_batched_us']:8.1f} us  "
-          f"({flows['resolve_speedup']:.2f}x)")
-    print("bytes and rates bit-identical across tiers")
-
-    failures = []
-    for leg in ("gather", "scatter"):
-        if gather[f"{leg}_speedup"] < args.min_gather_speedup:
-            failures.append(
-                f"{leg} speedup {gather[f'{leg}_speedup']:.2f}x below the "
-                f"required {args.min_gather_speedup:.2f}x"
-            )
-    if flows["resolve_speedup"] < args.min_flow_speedup:
-        failures.append(
-            f"flow re-solve speedup {flows['resolve_speedup']:.2f}x below "
-            f"the required {args.min_flow_speedup:.2f}x"
-        )
+    failures = result.failures()
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:

@@ -1,29 +1,16 @@
 #!/usr/bin/env python
 """Guard the flat-topology bypass: bit-identical goldens, bounded cost.
 
-The ``repro.net`` fabric must be *strictly additive*: a platform
-carrying the ``flat`` topology has to reproduce every golden scheme
-time bit for bit — through the exec layer, both with a cold result
-store and served back from the warm cache — and the bypass itself must
-not cost measurable wall-clock time.
-
-Three gates:
-
-1. **Cold goldens** — all 64 cells of ``tests/core/golden_scheme_times
-   .json`` re-run on ``platform.with_topology(flat())`` with a fresh
-   result store; ``time``/``virtual_time`` compare as float hex.
-2. **Warm goldens** — the same batch again from the populated store;
-   every cell must be a cache hit and still bit-identical (the flat
-   topology must not perturb cache digests).
-3. **Overhead** — wall time of the small-layout sweep with and without
-   the flat topology attached, interleaved best-of-N; the ratio must
-   stay under ``--max-overhead``.
+Thin shim over the ``contention-overhead`` entry of the
+:mod:`repro.perf` gate registry (``repro perf gate --gate
+contention-overhead``), kept for the historical entry point and the
+``BENCH_contention.json`` record it maintains.  The measurement body
+(64 golden cells through a cold and warm store, plus the interleaved
+bare/flat timing) lives in :mod:`repro.perf.workloads`.
 
 Usage::
 
     python tools/check_contention_overhead.py [--max-overhead 1.2]
-
-Results are recorded in ``BENCH_contention.json``.
 """
 
 from __future__ import annotations
@@ -31,79 +18,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import tempfile
-import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.core import PAPER_ORDER, StridedLayout, TimingPolicy  # noqa: E402
-from repro.exec import CellSpec, Executor, ResultStore  # noqa: E402
-from repro.machine import get_platform  # noqa: E402
-from repro.net import flat  # noqa: E402
-
-GOLDEN = json.loads(
-    (REPO / "tests" / "core" / "golden_scheme_times.json").read_text()
-)
-PLATFORMS = ("skx-impi", "skx-mvapich2", "ls5-cray", "knl-impi")
-LAYOUTS = {
-    "small-2KB": StridedLayout(nblocks=256, blocklen=1, stride=2),
-    "mid-1MB": StridedLayout(nblocks=125_000, blocklen=1, stride=2),
-}
-#: Must match the golden capture run exactly.
-POLICY = TimingPolicy(iterations=3, flush=True)
-
-
-def golden_specs(with_topology: bool) -> list[tuple[str, CellSpec]]:
-    specs = []
-    for pname in PLATFORMS:
-        platform = get_platform(pname)
-        if with_topology:
-            platform = platform.with_topology(flat())
-        for lname, layout in LAYOUTS.items():
-            for key in PAPER_ORDER:
-                spec = CellSpec(
-                    scheme=key,
-                    layout=layout,
-                    platform=platform,
-                    policy=POLICY,
-                    materialize=False,
-                )
-                specs.append((f"{pname}/{lname}/{key}", spec))
-    return specs
-
-
-def check_goldens(executor: Executor, label: str) -> int:
-    """Run every golden cell through ``executor``; return mismatches."""
-    named = golden_specs(with_topology=True)
-    results = executor.run_batch([spec for _, spec in named])
-    bad = 0
-    for (name, _), cell in zip(named, results):
-        want = GOLDEN[name]
-        got = {
-            "time": cell.time.hex(),
-            "virtual_time": cell.virtual_time.hex(),
-            "events": cell.events,
-        }
-        if got != want:
-            bad += 1
-            print(f"FAIL [{label}] {name}: {got} != {want}")
-    print(f"{label}: {len(named) - bad}/{len(named)} cells bit-identical")
-    return bad
-
-
-def time_sweep(with_topology: bool) -> float:
-    """Wall seconds for one uncached small-layout sweep."""
-    named = [
-        (name, spec)
-        for name, spec in golden_specs(with_topology)
-        if "/small-2KB/" in name
-    ]
-    executor = Executor()  # no cache: every cell executes
-    t0 = time.perf_counter()
-    executor.run_batch([spec for _, spec in named])
-    return time.perf_counter() - t0
+from repro.perf import get_gate, run_gate  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -111,52 +31,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-overhead", type=float, default=1.2,
                         help="allowed flat/bare wall-time ratio (default 1.2)")
     parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions per side; the minimum is used")
+                        help="timing repetitions per side; the median is used")
     parser.add_argument("--output", default=str(REPO / "BENCH_contention.json"),
                         help="where to record the measurement")
     args = parser.parse_args(argv)
 
-    with tempfile.TemporaryDirectory(prefix="contention-store-") as tmp:
-        store = ResultStore(tmp)
-        cold_exec = Executor(cache=store)
-        bad = check_goldens(cold_exec, "cold")
-        if cold_exec.cells_cached:
-            print(f"FAIL: {cold_exec.cells_cached} unexpected cold-store hits")
-            bad += 1
-
-        warm_exec = Executor(cache=store)
-        bad += check_goldens(warm_exec, "warm")
-        if warm_exec.cells_executed:
-            print(
-                f"FAIL: {warm_exec.cells_executed} cells re-executed on the "
-                "warm store (flat topology perturbed the cache digest?)"
-            )
-            bad += 1
-
-    t_bare = t_flat = float("inf")
-    for _ in range(args.repeats):
-        t_bare = min(t_bare, time_sweep(with_topology=False))
-        t_flat = min(t_flat, time_sweep(with_topology=True))
-    overhead = t_flat / t_bare
+    options = {
+        "contention.max_overhead": args.max_overhead,
+        "contention.repeats": args.repeats,
+    }
+    result, _ = run_gate(get_gate("contention-overhead"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
 
     record = {
-        "cells": len(GOLDEN),
-        "bare_seconds": t_bare,
-        "flat_seconds": t_flat,
-        "overhead": overhead,
+        "cells": int(result.metrics.get("golden_cells", 0)),
+        "bare_seconds": result.metrics["bare_seconds"],
+        "flat_seconds": result.metrics["flat_seconds"],
+        "overhead": result.metrics["overhead"],
         "max_overhead": args.max_overhead,
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(
-        f"overhead: bare {t_bare:.3f}s, flat {t_flat:.3f}s -> "
-        f"{overhead:.3f}x (limit {args.max_overhead}x)"
-    )
 
-    if bad:
-        print(f"FAILED: {bad} golden mismatch(es)")
-        return 1
-    if overhead > args.max_overhead:
-        print("FAILED: flat-topology bypass costs measurable wall time")
+    failures = result.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     print("OK: flat topology is bit-identical and effectively free")
     return 0

@@ -1,20 +1,16 @@
 #!/usr/bin/env python
 """Guard the wall-clock wins of the exec layer (``--jobs`` + result cache).
 
-Runs one fixed, materialized sweep four ways in the current tree —
-serial cold, parallel cold, cold-with-cache, warm-from-cache — then
-asserts the two wins the layer exists for:
+Thin shim over the ``exec-speedup`` entry of the
+:mod:`repro.perf` gate registry (``repro perf gate --gate
+exec-speedup``), kept for the historical entry point and the
+``BENCH_exec.json`` record it maintains.  All measurement and gating
+logic lives in :mod:`repro.perf.workloads`.
 
-* the parallel cold run beats the serial cold run
-  (``--min-parallel-speedup``, checked only when the host actually has
-  more than one usable CPU — on a single-CPU box the gate is recorded
-  as skipped, not faked);
-* the warm-cache re-run beats the serial cold run by at least
-  ``--min-cache-speedup`` (default 10x).
-
-It also re-checks the layer's core contract on the side: all four runs
-must produce byte-identical sweep artifacts.  Results are recorded in
-``BENCH_exec.json``.
+On a single-CPU host the parallel gate is recorded as skipped — never
+faked — and the parallel numbers in ``BENCH_exec.json`` carry
+``"informational": true`` so nobody mistakes a 1-CPU "speedup" for an
+asserted result.
 
 Usage::
 
@@ -25,105 +21,22 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-import tempfile
-import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.core import SweepConfig, TimingPolicy, run_sweep  # noqa: E402
-from repro.exec import Executor, ResultStore  # noqa: E402
-from repro.kernels import kernel_mode  # noqa: E402
-
-#: All eight schemes over two materialized sizes, 20 iterations with
-#: cache flushes: the paper's measurement protocol at a size where one
-#: run costs a meaningful fraction of a second.
-CONFIG = SweepConfig(
-    sizes=(500_000, 1_000_000),
-    policy=TimingPolicy(iterations=20, flush=True),
+from repro.perf import get_gate, run_gate, usable_cpus  # noqa: E402
+from repro.perf.workloads import (  # noqa: E402
+    evaluate_exec_gates,
+    exec_bench_record,
+    exec_gate_records,
 )
-PLATFORM = "skx-impi"
 
-
-def usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
-
-
-def timed(executor: Executor):
-    t0 = time.perf_counter()
-    sweep = run_sweep(PLATFORM, CONFIG, executor=executor)
-    return time.perf_counter() - t0, sweep
-
-
-def measure(jobs: int, chunk_size: int | None, repeats: int, cache_root: Path):
-    """Best-of-``repeats`` per mode, interleaved so drifting machine
-    load biases no single mode."""
-    t = {"serial": float("inf"), "parallel": float("inf"),
-         "cold_cache": float("inf"), "warm_cache": float("inf")}
-    sweeps = {}
-    store = ResultStore(cache_root)
-    for rep in range(repeats):
-        t_run, sweeps["serial"] = timed(Executor(jobs=1))
-        t["serial"] = min(t["serial"], t_run)
-        t_run, sweeps["parallel"] = timed(Executor(jobs=jobs, chunk_size=chunk_size))
-        t["parallel"] = min(t["parallel"], t_run)
-        store.clear()
-        t_run, sweeps["cold_cache"] = timed(Executor(jobs=1, cache=store))
-        t["cold_cache"] = min(t["cold_cache"], t_run)
-        t_run, sweeps["warm_cache"] = timed(Executor(jobs=1, cache=store))
-        t["warm_cache"] = min(t["warm_cache"], t_run)
-    return t, sweeps
-
-
-def gate_records(cpus: int, min_parallel: float, min_cache: float) -> dict:
-    """The two gate entries of ``BENCH_exec.json``.
-
-    Every gate carries an explicit ``skipped`` field so downstream
-    tooling never has to infer "not checked" from a missing key: on a
-    single-CPU host the parallel gate is ``skipped: true`` with the
-    reason recorded, never silently green.
-    """
-    parallel_checked = cpus >= 2
-    return {
-        "parallel_gate": (
-            {"checked": True, "skipped": False, "min": min_parallel}
-            if parallel_checked
-            else {
-                "checked": False,
-                "skipped": True,
-                "reason": "single-CPU host",
-                "cpus": cpus,
-            }
-        ),
-        "cache_gate": {"checked": True, "skipped": False, "min": min_cache},
-    }
-
-
-def evaluate_gates(
-    gates: dict, parallel_speedup: float, cache_speedup: float
-) -> list[str]:
-    """Apply the recorded gates to the measured speedups; returns the
-    failure messages (empty = pass).  A skipped gate never fails."""
-    failures = []
-    pg = gates["parallel_gate"]
-    if not pg["skipped"] and parallel_speedup < pg["min"]:
-        failures.append(
-            f"parallel speedup {parallel_speedup:.2f}x below the "
-            f"required {pg['min']:.2f}x"
-        )
-    cg = gates["cache_gate"]
-    if not cg["skipped"] and cache_speedup < cg["min"]:
-        failures.append(
-            f"warm-cache speedup {cache_speedup:.1f}x below the "
-            f"required {cg['min']:.1f}x"
-        )
-    return failures
+# Historical names, still imported by tests and downstream tooling.
+gate_records = exec_gate_records
+evaluate_gates = evaluate_exec_gates
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -138,57 +51,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-cache-speedup", type=float, default=10.0,
                         help="required serial/warm-cache ratio (default 10)")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repetitions per mode; the minimum is used")
+                        help="timing repetitions per mode; the median is used")
     parser.add_argument("--output", default=str(REPO / "BENCH_exec.json"),
                         help="where to record the measurement")
     args = parser.parse_args(argv)
 
-    cpus = usable_cpus()
-    with tempfile.TemporaryDirectory(prefix="exec-bench-") as cache_root:
-        t, sweeps = measure(args.jobs, args.chunk_size, args.repeats, Path(cache_root))
-
-    # The contract check rides along: every mode, byte-identical.
-    baseline = sweeps["serial"].to_dict()
-    for mode, sweep in sweeps.items():
-        if sweep.to_dict() != baseline:
-            print(f"FAIL: {mode} sweep differs from the serial sweep")
-            return 1
-
-    parallel_speedup = t["serial"] / t["parallel"]
-    cache_speedup = t["serial"] / t["warm_cache"]
-    cache_overhead = t["cold_cache"] / t["serial"]
-    gates = gate_records(cpus, args.min_parallel_speedup, args.min_cache_speedup)
-
-    record = {
-        "workload": f"{len(CONFIG.schemes)} schemes x {list(CONFIG.sizes)} B, "
-                    f"{CONFIG.policy.iterations} iterations, flushed, materialized",
-        "platform": PLATFORM,
-        "cpus": cpus,
-        "jobs": args.jobs,
-        "chunk_size": args.chunk_size if args.chunk_size is not None else "auto",
-        "kernel": kernel_mode(),
-        "serial_seconds": round(t["serial"], 4),
-        "parallel_seconds": round(t["parallel"], 4),
-        "cold_cache_seconds": round(t["cold_cache"], 4),
-        "warm_cache_seconds": round(t["warm_cache"], 4),
-        "parallel_speedup": round(parallel_speedup, 3),
-        "cache_speedup": round(cache_speedup, 1),
-        **gates,
+    options = {
+        "exec.jobs": args.jobs,
+        "exec.min_parallel_speedup": args.min_parallel_speedup,
+        "exec.min_cache_speedup": args.min_cache_speedup,
+        "exec.repeats": args.repeats,
     }
+    if args.chunk_size is not None:
+        options["exec.chunk_size"] = args.chunk_size
+
+    result, _ = run_gate(get_gate("exec-speedup"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
+
+    cpus = usable_cpus()
+    record = exec_bench_record(result, cpus=cpus)
     Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
 
-    print(f"serial cold:     {t['serial']:.3f} s")
-    print(f"--jobs {args.jobs} cold:   {t['parallel']:.3f} s "
-          f"({parallel_speedup:.2f}x)")
-    print(f"cold + cache:    {t['cold_cache']:.3f} s "
-          f"({100 * (cache_overhead - 1):+.1f}% store overhead)")
-    print(f"warm cache:      {t['warm_cache']:.3f} s ({cache_speedup:.0f}x)")
-    print("all four sweeps byte-identical")
-
-    if gates["parallel_gate"]["skipped"]:
+    if record["parallel_gate"]["skipped"]:
         print(f"parallel gate skipped: only {cpus} usable CPU "
-              "(measured and recorded, not asserted)")
-    failures = evaluate_gates(gates, parallel_speedup, cache_speedup)
+              "(measured and recorded as informational, not asserted)")
+    failures = result.failures()
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:

@@ -1,112 +1,29 @@
 #!/usr/bin/env python
 """Guard the wall-clock win of the TransferPlan cache.
 
-Times a repeated derived-type pack/send workload in the current tree
-and in a base revision (checked out into a temporary ``git worktree``),
-and fails unless the current tree is at least ``--min-speedup`` times
-faster.  This is the flip side of ``check_tracing_overhead.py``: that
-script caps a regression, this one defends an optimization — the plan
-cache must keep paying for itself.
+Thin shim over the ``plan-speedup`` entry of the :mod:`repro.perf`
+gate registry (``repro perf gate --gate plan-speedup``), kept for the
+historical entry point and the ``BENCH_plan.json`` record it
+maintains.  The measurement body (repeated derived-type pack/send
+against a base revision in a git worktree) lives in
+:mod:`repro.perf.workloads`.
 
 Usage::
 
     python tools/check_plan_overhead.py [--base REF] [--min-speedup 1.5]
-
-The workload uses only APIs present in the pre-plan tree (``pack_bytes``
-and derived-type ``Send``), so both trees run the same snippet verbatim.
-Results are recorded in ``BENCH_plan.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import shutil
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-#: Runs in both trees; prints one float (best-of-run wall seconds).
-#: The hot loop the plan cache exists for: many calls over one
-#: (datatype, count) pair, where the pre-plan tree re-flattens and
-#: re-summarizes the layout on every call.
-WORKLOAD = """
-import time
-import numpy as np
-from repro.mpi import DOUBLE, make_vector, run_mpi
-from repro.mpi.datatypes import pack_bytes
-
-NBLOCKS, COUNT, PACK_CALLS, SENDS = 512, 4, 400, 200
-vec = make_vector(NBLOCKS, 1, 2, DOUBLE).commit()
-src = np.arange(2 * NBLOCKS * COUNT, dtype=np.float64)
-dst = np.zeros(NBLOCKS * COUNT, dtype=np.float64)
-
-
-def once():
-    for _ in range(PACK_CALLS):
-        pack_bytes(src, vec, COUNT, dst)
-
-    def main(comm):
-        if comm.rank == 0:
-            for tag in range(SENDS):
-                comm.Send(src, dest=1, tag=tag, count=COUNT, datatype=vec)
-        else:
-            buf = np.empty(NBLOCKS * COUNT, dtype=np.float64)
-            for tag in range(SENDS):
-                comm.Recv(buf, source=0, tag=tag)
-
-    run_mpi(main, 2, "skx-impi")
-
-
-once()  # warm-up (imports, platform registry, caches)
-times = []
-for _ in range(5):
-    t0 = time.perf_counter()
-    once()
-    times.append(time.perf_counter() - t0)
-print(min(times))
-"""
-
-
-def _run(cmd: list[str], **kwargs) -> str:
-    return subprocess.run(
-        cmd, check=True, capture_output=True, text=True, **kwargs
-    ).stdout.strip()
-
-
-def _time_once(tree: Path) -> float:
-    out = _run(
-        [sys.executable, "-c", WORKLOAD],
-        cwd=tree,
-        env={"PYTHONPATH": str(tree / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
-    )
-    return float(out.splitlines()[-1])
-
-
-def time_trees(base: Path, head: Path, repeats: int) -> tuple[float, float]:
-    """Best-of-``repeats`` wall time for each tree, interleaved (A B A B
-    ...) so drifting machine load biases neither side."""
-    t_base = t_head = float("inf")
-    for _ in range(repeats):
-        t_base = min(t_base, _time_once(base))
-        t_head = min(t_head, _time_once(head))
-    return t_base, t_head
-
-
-def default_base() -> str:
-    """Merge-base with origin/main when it exists, else the parent."""
-    for candidate in ("origin/main", "main"):
-        try:
-            base = _run(["git", "merge-base", "HEAD", candidate], cwd=REPO)
-        except subprocess.CalledProcessError:
-            continue
-        head = _run(["git", "rev-parse", "HEAD"], cwd=REPO)
-        if base != head:
-            return base
-    return "HEAD~1"
+from repro.perf import get_gate, run_gate  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,38 +34,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required base/head wall-time ratio (default 1.5)")
     parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions per tree; the minimum is used")
+                        help="timing repetitions per tree; the median is used")
     parser.add_argument("--output", default=str(REPO / "BENCH_plan.json"),
                         help="where to record the measurement")
     args = parser.parse_args(argv)
 
-    base = args.base or default_base()
-    worktree = Path(tempfile.mkdtemp(prefix="plan-base-"))
-    try:
-        _run(["git", "worktree", "add", "--detach", str(worktree), base], cwd=REPO)
-        base_rev = _run(["git", "rev-parse", "HEAD"], cwd=worktree)
-        t_base, t_head = time_trees(worktree, REPO, args.repeats)
-    finally:
-        subprocess.run(["git", "worktree", "remove", "--force", str(worktree)],
-                       cwd=REPO, capture_output=True)
-        shutil.rmtree(worktree, ignore_errors=True)
+    options = {
+        "plan.min_speedup": args.min_speedup,
+        "plan.repeats": args.repeats,
+    }
+    if args.base is not None:
+        options["plan.base"] = args.base
 
-    speedup = t_base / t_head
+    result, _ = run_gate(get_gate("plan-speedup"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
+
     record = {
-        "workload": "repeated derived-type pack_bytes + Send over one "
-                    "(datatype, count) pair",
-        "base_rev": base_rev,
-        "base_seconds": t_base,
-        "head_seconds": t_head,
-        "speedup": round(speedup, 3),
+        "workload": result.extra.get("workload", ""),
+        "base_rev": result.extra.get("base_rev", "unknown"),
+        "base_seconds": result.metrics["base_seconds"],
+        "head_seconds": result.metrics["head_seconds"],
+        "speedup": round(result.metrics["speedup"], 3),
         "min_speedup": args.min_speedup,
     }
     Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
-    print(f"base ({base_rev[:12]}): {t_base:.3f} s")
-    print(f"head:              {t_head:.3f} s")
-    print(f"speedup:           {speedup:.2f}x (required {args.min_speedup:.2f}x)")
-    if speedup < args.min_speedup:
-        print("FAIL: plan-cache speedup below the required ratio")
+
+    failures = result.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     print("OK")
     return 0

@@ -1,128 +1,34 @@
 #!/usr/bin/env python
-"""Guard the zero-cost-when-off contract of the flight recorder.
+"""Guard the zero-cost-when-off contract of the flight recorder AND
+host telemetry.
 
-Times an *untraced* benchmark workload in the current tree and in a
-base revision (checked out into a temporary ``git worktree``), and
-fails if the current tree is more than ``--threshold`` slower.  This is
-the CI tripwire for instrumentation creep: span emission *and
-wait-for-edge recording* are free when tracing is off, and this script
-keeps them that way.
+Thin shim over the ``tracing-overhead`` entry of the
+:mod:`repro.perf` gate registry (``repro perf gate --gate
+tracing-overhead``).  Two layers, both defined in
+:mod:`repro.perf.workloads`:
 
-Two layers:
-
-1. a **structural** check (head tree only): an untraced run must keep
-   ``Tracer.wait_edges_enabled`` False and record zero wait edges,
-   sleeps, or task lifecycle entries — the disabled path is one
-   attribute load, never a list append;
-2. the **timing** comparison against the base revision.
+1. a **structural** check (head tree only): an untraced, telemetry-off
+   run must record zero wait edges, zero host events, and — counted via
+   the single ``repro.obs.host._now`` clock funnel — zero
+   ``perf_counter`` reads from the host-telemetry layer;
+2. a **timing** comparison against a base revision in a git worktree.
 
 Usage::
 
     python tools/check_tracing_overhead.py [--base REF] [--threshold 0.05]
-
-The timing workload uses only APIs present in every revision of
-interest (``run_pingpong`` over a few schemes), so both trees can run
-the same snippet verbatim; the blocking-heavy rendezvous cells in it
-exercise every block/wake site the edge recorder hooks.
 """
 
 from __future__ import annotations
 
 import argparse
-import shutil
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-#: Runs in both trees; prints one float (best-of-run wall seconds).
-#: Keep this limited to APIs the base revision already has.
-WORKLOAD = """
-import time
-from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
-
-def once():
-    for key in ("reference", "vector", "packing-vector", "buffered", "onesided"):
-        for nbytes in (4_096, 1_000_000):
-            run_pingpong(
-                key,
-                strided_for_bytes(nbytes),
-                "skx-impi",
-                policy=TimingPolicy(iterations=25, flush=True),
-                materialize=False,
-                trace=False,
-            )
-
-once()  # warm-up (imports, platform registry)
-times = []
-for _ in range(3):
-    t0 = time.perf_counter()
-    once()
-    times.append(time.perf_counter() - t0)
-print(min(times))
-"""
-
-
-#: Head-tree-only structural check of the disabled edge-recording path.
-STRUCTURAL_CHECK = """
-from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
-from repro.sim.trace import Tracer
-
-assert Tracer.wait_edges_enabled is False, "base Tracer must disable edge recording"
-result = run_pingpong(
-    "vector",
-    strided_for_bytes(1_000_000),
-    "skx-impi",
-    policy=TimingPolicy(iterations=2, flush=True),
-    materialize=False,
-    trace=False,
-)
-tracer = result.tracer
-assert not isinstance(tracer, __import__("repro.obs", fromlist=["SpanRecorder"]).SpanRecorder)
-assert tracer.wait_edges_enabled is False
-assert tracer.wait_edges() == [], "untraced run recorded wait-for edges"
-print("structural OK")
-"""
-
-
-def _run(cmd: list[str], **kwargs) -> str:
-    return subprocess.run(
-        cmd, check=True, capture_output=True, text=True, **kwargs
-    ).stdout.strip()
-
-
-def _time_once(tree: Path) -> float:
-    out = _run(
-        [sys.executable, "-c", WORKLOAD],
-        cwd=tree,
-        env={"PYTHONPATH": str(tree / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
-    )
-    return float(out.splitlines()[-1])
-
-
-def time_trees(base: Path, head: Path, repeats: int) -> tuple[float, float]:
-    """Best-of-``repeats`` wall time for each tree, interleaved (A B A B
-    ...) so drifting machine load biases neither side."""
-    t_base = t_head = float("inf")
-    for _ in range(repeats):
-        t_base = min(t_base, _time_once(base))
-        t_head = min(t_head, _time_once(head))
-    return t_base, t_head
-
-
-def default_base() -> str:
-    """Merge-base with origin/main when it exists, else the parent."""
-    for candidate in ("origin/main", "main"):
-        try:
-            base = _run(["git", "merge-base", "HEAD", candidate], cwd=REPO)
-        except subprocess.CalledProcessError:
-            continue
-        head = _run(["git", "rev-parse", "HEAD"], cwd=REPO)
-        if base != head:
-            return base
-    return "HEAD~1"
+from repro.perf import get_gate, run_gate  # noqa: E402
+from repro.perf.workloads import STRUCTURAL_CHECK  # noqa: E402  (re-export)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,32 +39,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.05,
                         help="maximum tolerated fractional slowdown (default 0.05)")
     parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions per tree; the minimum is used")
+                        help="timing repetitions per tree; the median is used")
     args = parser.parse_args(argv)
 
-    out = _run(
-        [sys.executable, "-c", STRUCTURAL_CHECK],
-        cwd=REPO,
-        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
-    )
-    print(f"wait-for-edge recording when disabled: {out.splitlines()[-1]}")
+    options = {
+        "tracing.threshold": args.threshold,
+        "tracing.repeats": args.repeats,
+    }
+    if args.base is not None:
+        options["tracing.base"] = args.base
 
-    base = args.base or default_base()
-    worktree = Path(tempfile.mkdtemp(prefix="overhead-base-"))
-    try:
-        _run(["git", "worktree", "add", "--detach", str(worktree), base], cwd=REPO)
-        t_base, t_head = time_trees(worktree, REPO, args.repeats)
-    finally:
-        subprocess.run(["git", "worktree", "remove", "--force", str(worktree)],
-                       cwd=REPO, capture_output=True)
-        shutil.rmtree(worktree, ignore_errors=True)
-
-    overhead = (t_head - t_base) / t_base
-    print(f"base ({base[:12]}): {t_base:.3f} s")
-    print(f"head:              {t_head:.3f} s")
-    print(f"untraced overhead: {overhead:+.1%} (threshold {args.threshold:.0%})")
-    if overhead > args.threshold:
-        print("FAIL: disabled-tracing overhead exceeds the threshold")
+    result, _ = run_gate(get_gate("tracing-overhead"), options)
+    print(result.render())
+    failures = result.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     print("OK")
     return 0
