@@ -106,6 +106,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["ranks"] = args.ranks
     if args.topology is not None:
         kwargs["topology"] = args.topology
+    if getattr(args, "ranks_per_node", None) is not None:
+        kwargs["ranks_per_node"] = args.ranks_per_node
+    if getattr(args, "placement", None) is not None:
+        kwargs["placement"] = args.placement
     result = run_experiment(args.experiment, quick=args.quick, **kwargs)
     print(result.render())
     return 0 if result.passed is not False else 1
@@ -189,12 +193,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     from .analysis.explain import explain_scheme
     from .analysis.timeline import render_critical_path, render_explanation
+    from .obs.critical import resource_legend
 
     schemes = tuple(args.schemes) if args.schemes else PAPER_ORDER
     print(
         f"critical-path explanation: {args.bytes:,} B ping-pong on {args.platform}"
         + (" (validating what-ifs against re-runs)" if args.validate else "")
     )
+    # Derived from the blame tables, so a new resource (e.g. shm)
+    # appears here without touching the CLI.
+    print("resources:")
+    for line in resource_legend():
+        print(f"  {line}")
     print()
     worst_error = 0.0
     for key in schemes:
@@ -228,12 +238,47 @@ def cmd_advise(args: argparse.Namespace) -> int:
         dtype = base.make_subarray_datatype()
     else:
         dtype = base.make_datatype()
+    transport, transport_note = _advise_transport(args)
     try:
-        advice = advise_datatype(dtype, count=args.count, platform=args.platform)
+        advice = advise_datatype(
+            dtype, count=args.count, platform=args.platform, transport=transport
+        )
     finally:
         dtype.free()
     print(advice.render())
+    print(f"transport: {advice.transport}{transport_note}")
     return 0
+
+
+def _advise_transport(args: argparse.Namespace):
+    """Resolve ``--ranks-per-node/--placement`` into the transport the
+    advise pricing should run on: the shm transport when the described
+    placement co-locates the communicating pair (ranks 0 and 1), the
+    network (``None`` — historical pricing) otherwise."""
+    ranks_per_node = getattr(args, "ranks_per_node", None)
+    if not ranks_per_node or ranks_per_node <= 1:
+        return None, ""
+    from .machine.network import default_shm_model
+    from .machine.registry import get_platform
+    from .net import make_topology
+    from .net.transport import ShmTransport
+
+    placement = getattr(args, "placement", None) or "block"
+    # The advised ping-pong is a two-rank pair; two nodes' worth of
+    # ranks is enough for the placement to decide their co-location
+    # (block keeps 0 and 1 together, cyclic deals them apart).
+    topo = make_topology(
+        "fat-tree", 2 * ranks_per_node, ranks_per_node=ranks_per_node,
+        placement=placement,
+    )
+    plat = get_platform(args.platform)
+    if topo.same_node(0, 1):
+        shm = plat.shm if plat.shm is not None else default_shm_model()
+        return (
+            ShmTransport(shm, plat.memory),
+            f" (ranks 0-1 co-located: {placement}, {ranks_per_node} ranks/node)",
+        )
+    return None, f" (ranks 0-1 on different nodes: {placement} placement)"
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -423,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated rank count (experiments that sweep ranks, e.g. halo)")
     p.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default=None,
                    help="interconnect topology for fabric-aware experiments (e.g. halo)")
+    p.add_argument("--ranks-per-node", dest="ranks_per_node", type=int, default=None,
+                   metavar="N",
+                   help="ranks co-located per node (halo; >1 enables the intra-node "
+                        "shm transport for co-located pairs)")
+    p.add_argument("--placement", choices=("block", "cyclic"), default=None,
+                   help="rank-to-node placement for fabric-aware experiments (halo)")
     add_exec_options(p)
     p.set_defaults(fn=cmd_experiment)
 
@@ -471,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="displacement jitter in [0, 1) for --datatype indexed")
     p.add_argument("--count", type=int, default=1,
                    help="datatype count, as in MPI_Send(..., count, type, ...)")
+    p.add_argument("--ranks-per-node", dest="ranks_per_node", type=int, default=None,
+                   metavar="N",
+                   help="ranks co-located per node; with a placement that "
+                        "co-locates the pair, the advice prices the intra-node "
+                        "shm transport instead of the network")
+    p.add_argument("--placement", choices=("block", "cyclic"), default=None,
+                   help="rank-to-node placement deciding the pair's co-location "
+                        "(default block)")
     p.set_defaults(fn=cmd_advise)
 
     p = sub.add_parser("compare", help="compare two saved sweep JSON files")

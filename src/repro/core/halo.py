@@ -46,7 +46,13 @@ from ..mpi.buffers import SimBuffer
 from ..mpi.comm import Comm
 from ..mpi.datatypes import DOUBLE, Datatype, make_subarray
 
-__all__ = ["HALO_SCHEMES", "HaloSpec", "HaloRankResult", "halo_program"]
+__all__ = [
+    "HALO_SCHEMES",
+    "HaloSpec",
+    "HaloRankResult",
+    "advise_face",
+    "halo_program",
+]
 
 #: Scheme keys accepted by :class:`HaloSpec`, report order.
 HALO_SCHEMES = ("reference", "copying", "vector", "packing-vector", "auto")
@@ -256,9 +262,11 @@ _EXCHANGES = {
 }
 
 
-def _resolve_auto(comm: Comm, spec: HaloSpec) -> str:
-    """Price the face datatype on this platform and pick the cheapest
-    delivering scheme — pure host-side arithmetic, no virtual time."""
+def advise_face(spec: HaloSpec, platform, transport=None):
+    """Price this spec's face datatype on ``platform`` over the given
+    transport (``None`` = network) among the delivering halo schemes.
+    Pure host-side arithmetic — shared by ``auto`` resolution and the
+    halo experiment's per-regime tables."""
     from ..mpi.datatypes.ir import advise_datatype
 
     face = make_subarray(
@@ -266,10 +274,32 @@ def _resolve_auto(comm: Comm, spec: HaloSpec) -> str:
     )
     try:
         return advise_datatype(
-            face, platform=comm.world.platform, candidates=_AUTO_CANDIDATES
-        ).chosen
+            face, platform=platform, candidates=_AUTO_CANDIDATES,
+            transport=transport,
+        )
     finally:
         face.free()
+
+
+def _resolve_auto(comm: Comm, spec: HaloSpec) -> str:
+    """Price the face datatype on this platform and pick the cheapest
+    delivering scheme — pure host-side arithmetic, no virtual time.
+
+    Transport-aware: a rank whose *both* ring neighbors are co-located
+    prices the faces on the shm transport, so on-node and off-node
+    ranks of the same job may resolve ``auto`` to different schemes.
+    A rank with mixed neighbors keeps the network pricing (its slower
+    face dominates the exchange)."""
+    world = comm.world
+    transport = None
+    if world.shm_transport is not None:
+        me = comm._world_rank(comm.rank)
+        west = comm._world_rank((comm.rank - 1) % comm.size)
+        east = comm._world_rank((comm.rank + 1) % comm.size)
+        kinds = {world.transport_for(me, n).kind for n in (west, east)}
+        if kinds == {"shm"}:
+            transport = world.shm_transport
+    return advise_face(spec, world.platform, transport).chosen
 
 
 def halo_program(spec: HaloSpec):

@@ -14,7 +14,7 @@ from .cache import CacheHierarchy, CacheLevel
 from .cpu import CpuModel
 from .fingerprint import MODEL_VERSION, canonical, digest_of
 from .memory import CopyCost, MemoryModel
-from .network import NetworkModel
+from .network import NetworkModel, ShmModel, default_shm_model
 from .noise import NoiseModel
 from .platform import Platform
 from .pricing import PRICED_SCHEMES, SchemePricer
@@ -42,6 +42,8 @@ __all__ = [
     "digest_of",
     "MemoryModel",
     "NetworkModel",
+    "ShmModel",
+    "default_shm_model",
     "NoiseModel",
     "Platform",
     "PRICED_SCHEMES",

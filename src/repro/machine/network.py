@@ -5,13 +5,20 @@ injection bandwidth, per-message send/receive CPU overheads, and whether
 the NIC can stream a contiguous buffer without occupying the core
 (the paper's proportionality-constant-1 assumption for the reference
 send, section 2.1).
+
+:class:`ShmModel` is the node-local sibling: the knobs of an intra-node
+shared-memory transport (bounded-segment double copy below an eager
+analogue, CMA-style single copy above it).  The *pricing* of those
+copies lives in :class:`repro.net.transport.ShmTransport`, which runs
+them through the platform's :class:`~repro.machine.memory.MemoryModel`
+so cache effects carry over.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["NetworkModel"]
+__all__ = ["NetworkModel", "ShmModel", "default_shm_model"]
 
 
 @dataclass(frozen=True)
@@ -76,3 +83,85 @@ class NetworkModel:
     def point_to_point_time(self, nbytes: int) -> float:
         """First-order one-way delivery time (latency + serialization)."""
         return self.latency + self.wire_time(nbytes)
+
+
+@dataclass(frozen=True)
+class ShmModel:
+    """Intra-node shared-memory transport parameters.
+
+    Parameters
+    ----------
+    latency:
+        One-way control handoff (doorbell flag in a shared page) between
+        two co-located ranks, seconds.  Plays the role of the network's
+        zero-byte latency for both the eager analogue and the
+        RTS/CTS-style handshake of the rendezvous analogue.
+    eager_limit:
+        Messages up to this size take the double-copy path through the
+        bounded shared segment (the eager analogue); larger ones
+        handshake first (the rendezvous analogue).  ``None`` means no
+        limit (everything is segment-eager).
+    segment_bytes:
+        Capacity of one bounded shared-segment chunk.  A payload of
+        ``n`` bytes crosses the segment in ``ceil(n / segment_bytes)``
+        chunks, each paying ``chunk_overhead`` of flow-control
+        bookkeeping.
+    chunk_overhead:
+        Seconds of bookkeeping per segment chunk (head/tail pointer
+        updates, memory fences).
+    single_copy:
+        When True, rendezvous-sized transfers use a CMA-style single
+        copy straight from the sender's address space into the
+        receiver's (one memcpy, no segment).  When False, they chunk
+        through the bounded segment like eager ones (double copy).
+    rendezvous_overhead:
+        Fixed setup fee per rendezvous-analogue transfer (mapping the
+        peer's pages, queue bookkeeping).
+    """
+
+    latency: float
+    eager_limit: int | None = 32768
+    segment_bytes: int = 16384
+    chunk_overhead: float = 0.0
+    single_copy: bool = True
+    rendezvous_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.eager_limit is not None and self.eager_limit < 0:
+            raise ValueError("eager_limit must be non-negative")
+        if self.segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if self.chunk_overhead < 0:
+            raise ValueError("chunk_overhead must be non-negative")
+        if self.rendezvous_overhead < 0:
+            raise ValueError("rendezvous_overhead must be non-negative")
+
+    def uses_eager(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` takes the segment-eager path.
+
+        Unlike the network's :meth:`MpiTuning.uses_eager`, there are no
+        packed/derived quirks: those encode fabric/NIC behaviour that a
+        node-local transport does not have.
+        """
+        return self.eager_limit is None or nbytes <= self.eager_limit
+
+
+def default_shm_model() -> ShmModel:
+    """A representative intra-node transport (CMA-capable Linux MPI).
+
+    Sub-microsecond doorbell, 32 KiB eager analogue through 16 KiB
+    bounded-segment chunks, single-copy above.  Deliberately *not*
+    attached to the registry platforms — a platform prices shared
+    memory only when a caller opts in via ``Platform.with_shm``, so
+    every historical digest stays byte-identical.
+    """
+    return ShmModel(
+        latency=0.3e-6,
+        eager_limit=32 * 1024,
+        segment_bytes=16 * 1024,
+        chunk_overhead=0.15e-6,
+        single_copy=True,
+        rendezvous_overhead=1.5e-6,
+    )

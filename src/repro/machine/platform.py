@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from ..net.topology import Topology
 from .cpu import CpuModel
 from .memory import MemoryModel
-from .network import NetworkModel
+from .network import NetworkModel, ShmModel
 from .noise import NoiseModel
 from .tuning import MpiTuning
 
@@ -36,6 +36,12 @@ class Platform:
         The MPI installation's tuning profile.
     noise:
         Optional measurement jitter (``None`` = deterministic).
+    shm:
+        Optional intra-node shared-memory transport.  Only *reachable*
+        (and hence only priced, and only fingerprinted) when the
+        topology places more than one rank per node; co-located rank
+        pairs then bypass the network entirely (see
+        :mod:`repro.net.transport`).
     topology:
         Optional interconnect structure (``None`` or flat = the
         closed-form single-wire model; anything else turns on the
@@ -51,6 +57,7 @@ class Platform:
     cpu: CpuModel
     tuning: MpiTuning = field(default_factory=MpiTuning)
     noise: NoiseModel | None = None
+    shm: ShmModel | None = None
     topology: Topology | None = None
     figure: str | None = None
 
@@ -75,6 +82,22 @@ class Platform:
         """Copy of this platform with a replaced interconnect topology."""
         return replace(self, topology=topology)
 
+    def with_shm(self, shm: ShmModel | None) -> "Platform":
+        """Copy of this platform with a replaced intra-node transport."""
+        return replace(self, shm=shm)
+
+    @property
+    def shm_reachable(self) -> bool:
+        """Whether any rank pair can ever use the shared-memory
+        transport: a model must be attached *and* the topology must
+        co-locate ranks (non-flat, more than one rank per node)."""
+        return (
+            self.shm is not None
+            and self.topology is not None
+            and not self.topology.is_flat
+            and self.topology.ranks_per_node > 1
+        )
+
     def with_name(self, name: str, description: str | None = None) -> "Platform":
         """Copy of this platform under a new name."""
         return replace(
@@ -92,6 +115,10 @@ class Platform:
         identically.  The topology key is added *conditionally* so that
         ``topology=None`` and ``topology=flat()`` (both priced by the
         closed-form model) keep every historical digest byte-identical.
+        The shared-memory model follows the same rule: it is keyed only
+        when :attr:`shm_reachable` — attaching an ``shm`` model to a
+        flat (or one-rank-per-node) configuration changes nothing the
+        simulator prices, so it must not orphan cached results either.
         """
         from .fingerprint import digest_of
 
@@ -104,6 +131,8 @@ class Platform:
         }
         if self.topology is not None and not self.topology.is_flat:
             payload["topology"] = self.topology
+        if self.shm_reachable:
+            payload["shm"] = self.shm
         return digest_of(payload)
 
     def describe(self) -> str:
@@ -122,6 +151,16 @@ class Platform:
         ]
         if self.topology is not None:
             lines.append(f"  topology: {self.topology.describe()}")
+        if self.shm is not None:
+            eager_shm = (
+                "unlimited" if self.shm.eager_limit is None else f"{self.shm.eager_limit} B"
+            )
+            mode = "single-copy" if self.shm.single_copy else "double-copy"
+            lines.append(
+                f"  shm: latency {self.shm.latency * 1e6:.2f} us, eager limit {eager_shm}, "
+                f"segment {self.shm.segment_bytes} B, {mode} rendezvous"
+                + ("" if self.shm_reachable else " (unreachable: no co-located ranks)")
+            )
         if self.figure:
             lines.append(f"  reproduces: {self.figure}")
         return "\n".join(lines)

@@ -15,9 +15,13 @@ import it; a test pins the two lists against each other).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .access import AccessPattern
 from .platform import Platform
+
+if TYPE_CHECKING:  # machine must not import net at runtime
+    from ..net.transport import Transport
 
 __all__ = ["PRICED_SCHEMES", "SchemePricer"]
 
@@ -38,9 +42,25 @@ PRICED_SCHEMES = (
 @dataclass(frozen=True)
 class SchemePricer:
     """First-order ping-pong predictions for one platform and any
-    access pattern."""
+    access pattern.
+
+    ``transport`` selects the fabric the in-flight legs are priced on.
+    ``None`` (and any network transport) keeps the historical closed
+    form byte-for-byte; an shm transport reprices the delivery, pong,
+    and one-sided drain legs through that transport's copy-based model
+    while every CPU-side leg (gathers, packs, overheads, fences) stays
+    identical — so on-node and off-node predictions differ exactly
+    where the wire does."""
 
     platform: Platform
+    transport: "Transport | None" = None
+
+    def _wire_transport(self) -> "Transport | None":
+        """The non-network transport to price in-flight legs on, if any."""
+        transport = self.transport
+        if transport is None or transport.kind == "network":
+            return None
+        return transport
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -74,6 +94,13 @@ class SchemePricer:
                        derived: bool = False, wire_factor: float = 1.0) -> float:
         """One-way delivery: protocol handshakes + serialization +
         receiver-side eager bounce where applicable."""
+        transport = self._wire_transport()
+        if transport is not None:
+            # Copy-based transports fold the receiver-side copy into the
+            # transfer itself, so there is no separate eager bounce.
+            return transport.in_flight_time(
+                nbytes, packed=packed, derived=derived, factor=wire_factor
+            )
         net = self.platform.network
         tuning = self.platform.tuning
         if tuning.uses_eager(nbytes, packed=packed, derived=derived):
@@ -92,6 +119,9 @@ class SchemePricer:
 
     def pong_time(self) -> float:
         """The zero-byte return message."""
+        transport = self._wire_transport()
+        if transport is not None:
+            return transport.control_latency
         return self.platform.network.latency
 
     # ------------------------------------------------------------------
@@ -178,14 +208,21 @@ class SchemePricer:
             else tuning.onesided_bw_factor
         )
         fence = tuning.fence_base + 2 * tuning.fence_per_rank
+        transport = self._wire_transport()
+        if transport is not None:
+            drain = transport.transfer_time(nbytes, factor=factor)
+            land = transport.control_latency
+        else:
+            drain = self.wire(nbytes) / factor
+            land = net.latency
         # Put call + staging, then at the fence: drain (wire + latency)
         # and the synchronization fee; the fence call itself adds one
         # overhead.
         return (
             2 * cpu.call_overhead
             + self.gather_time(pattern, internal=True)
-            + self.wire(nbytes) / factor
-            + net.latency
+            + drain
+            + land
             + fence
         )
 

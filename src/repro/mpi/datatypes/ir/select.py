@@ -32,6 +32,7 @@ from .ops import Program
 from .passes import run_pipeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime import
+    from ....net.transport import Transport
     from ..datatype import Datatype
 
 __all__ = [
@@ -90,6 +91,9 @@ class Advice:
     reference_time: float
     #: Sorted cheapest-first; ties broken by paper figure order.
     prices: tuple[CandidatePrice, ...]
+    #: The transport the in-flight legs were priced on ("network" when
+    #: no transport was supplied — the historical behaviour).
+    transport: str = "network"
 
     @property
     def chosen(self) -> str:
@@ -130,9 +134,14 @@ def advise_datatype(
     count: int = 1,
     platform: str | Platform = "skx-impi",
     candidates: Iterable[str] = AUTO_CANDIDATES,
+    transport: "Transport | None" = None,
 ) -> Advice:
     """Canonicalize ``count`` elements of ``dtype`` and price every
-    candidate scheme on ``platform``."""
+    candidate scheme on ``platform``.
+
+    ``transport`` reprices the in-flight legs on a non-network fabric
+    (e.g. an intra-node shm transport for a co-located peer); ``None``
+    keeps the historical network pricing."""
     plat = _resolve_platform(platform)
     keys = tuple(candidates)
     if not keys:
@@ -141,7 +150,7 @@ def advise_datatype(
     result = run_pipeline(naive, platform=plat)
     canonical: Program = result.program
     pattern = canonical.pattern()
-    pricer = SchemePricer(plat)
+    pricer = SchemePricer(plat, transport=transport)
     reference_time = pricer.reference(pattern)
     prices = tuple(
         sorted(
@@ -167,6 +176,7 @@ def advise_datatype(
         pattern=pattern,
         reference_time=reference_time,
         prices=prices,
+        transport=transport.kind if transport is not None else "network",
     )
 
 
@@ -175,17 +185,23 @@ def advise_layout(
     *,
     platform: str | Platform = "skx-impi",
     candidates: Iterable[str] = AUTO_CANDIDATES,
+    transport: "Transport | None" = None,
 ) -> Advice:
     """Advice for a benchmark layout (anything with ``make_datatype``)."""
     dtype = layout.make_datatype()
     try:
-        return advise_datatype(dtype, count=1, platform=platform, candidates=candidates)
+        return advise_datatype(
+            dtype, count=1, platform=platform, candidates=candidates,
+            transport=transport,
+        )
     finally:
         dtype.free()
 
 
-def select_scheme(layout, platform: str | Platform) -> str:
+def select_scheme(
+    layout, platform: str | Platform, transport: "Transport | None" = None
+) -> str:
     """The ``auto`` scheme's resolution: the cheapest candidate for
     ``layout`` on ``platform``.  Deterministic — pure host-side
     arithmetic over the machine model."""
-    return advise_layout(layout, platform=platform).chosen
+    return advise_layout(layout, platform=platform, transport=transport).chosen

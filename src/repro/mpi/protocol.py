@@ -105,6 +105,7 @@ class TransitMessage:
         "data_arrived",
         "data_cond",
         "synchronous",
+        "transport",
     )
 
     def __init__(
@@ -132,6 +133,7 @@ class TransitMessage:
         self.data_arrived = False  # rendezvous: payload landed
         self.data_cond: SimCondition | None = None
         self.synchronous = synchronous
+        self.transport = operation.transport
 
 
 class SendOperation:
@@ -185,8 +187,12 @@ class SendOperation:
         #: (anchors the ``proto.push`` span, whose end is only known
         #: when the flow drains).
         self._cts_time = 0.0
-        cost = world.cost
-        self.eager = cost.uses_eager(payload.nbytes, packed=packed, derived=derived)
+        self.derived = derived
+        #: The fabric carrying this pair's bytes (network or shm).
+        self.transport = world.transport_for(proc.rank, dest)
+        self.eager = self.transport.uses_eager(
+            payload.nbytes, packed=packed, derived=derived
+        )
         if synchronous:
             # Ssend semantics: completion requires the matching receive,
             # i.e. always take the handshaking path.
@@ -212,13 +218,20 @@ class SendOperation:
         have been charged; all further progress is event-driven.
         """
         world = self.world
-        cost = world.cost
+        transport = self.transport
         now = world.kernel.now
         obs = world.obs
+        if transport.kind == "shm":
+            world.c_shm_sends.inc()
+            world.c_shm_bytes.inc(self.payload.nbytes)
         if self.eager:
             world.c_eager_sends.inc()
             world.c_bytes_on_wire.inc(self.payload.nbytes)
-            if world.fabric is not None and self.payload.nbytes > 0:
+            if (
+                world.fabric is not None
+                and transport.kind == "network"
+                and self.payload.nbytes > 0
+            ):
                 # Fabric mode: the wire segment is a flow whose finish
                 # instant depends on contention — everything downstream
                 # (trace, spans, delivery) waits for the flow to drain.
@@ -233,15 +246,20 @@ class SendOperation:
                     factor=self.wire_factor, on_finish=self._eager_flow_finished,
                 )
                 return self.handle
-            arrival = now + cost.latency + cost.wire(self.payload.nbytes, factor=self.wire_factor)
+            latency = transport.control_latency
+            arrival = now + latency + transport.transfer_time(
+                self.payload.nbytes, factor=self.wire_factor, derived=self.derived
+            )
             self.message.arrival_time = arrival
             world.trace("send.eager", src=self.proc.rank, dest=self.dest, tag=self.tag,
-                        nbytes=self.payload.nbytes, arrival=arrival)
+                        nbytes=self.payload.nbytes, arrival=arrival,
+                        transport=transport.kind)
             if obs.enabled:
                 # Detached root: the wire transfer outlives the Send call.
                 obs.complete(now, arrival, "proto.eager", rank=self.proc.rank,
                              category="transfer", parent=None, dest=self.dest,
-                             tag=self.tag, nbytes=self.payload.nbytes)
+                             tag=self.tag, nbytes=self.payload.nbytes,
+                             transport=transport.kind)
             if obs.wait_edges_enabled:
                 sender = world.kernel.current_task
                 self.delivery_cause = WakeCause(
@@ -249,8 +267,8 @@ class SendOperation:
                     origin=sender.name if sender is not None else None,
                     origin_time=now,
                     hops=(
-                        (now, now + cost.latency, "latency"),
-                        (now + cost.latency, arrival, "wire"),
+                        (now, now + latency, transport.control_resource),
+                        (now + latency, arrival, transport.payload_resource),
                     ),
                 )
             world.kernel.call_later(arrival - now, self._deliver)
@@ -262,27 +280,30 @@ class SendOperation:
         else:
             world.c_rendezvous_sends.inc()
             world.c_bytes_on_wire.inc(self.payload.nbytes)
+            latency = transport.control_latency
             world.trace("send.rts", src=self.proc.rank, dest=self.dest, tag=self.tag,
-                        nbytes=self.payload.nbytes)
+                        nbytes=self.payload.nbytes, transport=transport.kind)
             if obs.enabled:
                 self._span = obs.begin(now, "proto.rendezvous", rank=self.proc.rank,
                                        category="protocol", parent=None,
                                        dest=self.dest, tag=self.tag,
-                                       nbytes=self.payload.nbytes)
-                obs.complete(now, now + cost.latency, "proto.rts",
+                                       nbytes=self.payload.nbytes,
+                                       transport=transport.kind)
+                obs.complete(now, now + latency, "proto.rts",
                              rank=self.proc.rank, category="handshake",
-                             parent=self._span, dest=self.dest, tag=self.tag)
+                             parent=self._span, dest=self.dest, tag=self.tag,
+                             transport=transport.kind)
             if obs.wait_edges_enabled:
                 sender = world.kernel.current_task
                 self._origin = (sender.name if sender is not None else "", now)
-                self._hops = [(now, now + cost.latency, "latency")]
+                self._hops = [(now, now + latency, transport.control_resource)]
                 self.delivery_cause = WakeCause(
                     "rts",
                     origin=self._origin[0],
                     origin_time=now,
                     hops=tuple(self._hops),
                 )
-            world.kernel.call_later(cost.latency, self._deliver)
+            world.kernel.call_later(latency, self._deliver)
         return self.handle
 
     def _deliver(self) -> None:
@@ -346,16 +367,19 @@ class SendOperation:
             return
         self.cts_granted = True
         world = self.world
-        cost = world.cost
+        transport = self.transport
+        latency = transport.control_latency
         world.c_rendezvous_roundtrips.inc()
-        world.trace("send.cts", src=self.proc.rank, dest=self.dest, tag=self.tag)
+        world.trace("send.cts", src=self.proc.rank, dest=self.dest, tag=self.tag,
+                    transport=transport.kind)
         if world.obs.enabled and self._span is not None:
             now = world.kernel.now
             # The CTS belongs to the *receiver* — it leaves when the
             # matching receive is found.
-            world.obs.complete(now, now + cost.latency, "proto.cts", rank=self.dest,
+            world.obs.complete(now, now + latency, "proto.cts", rank=self.dest,
                                category="handshake", parent=self._span,
-                               src=self.proc.rank, tag=self.tag)
+                               src=self.proc.rank, tag=self.tag,
+                               transport=transport.kind)
         if world.obs.wait_edges_enabled:
             now = world.kernel.now
             grantor = world.kernel.current_task
@@ -365,35 +389,45 @@ class SendOperation:
                 # had long been waiting in the unexpected queue.
                 self._origin = (grantor.name, now)
                 self._hops = []
-            self._hops.append((now, now + cost.latency, "latency"))
-        world.kernel.call_later(cost.latency, self._on_cts)
+            self._hops.append((now, now + latency, transport.control_resource))
+        world.kernel.call_later(latency, self._on_cts)
 
     def _on_cts(self) -> None:
         """Kernel context, at CTS arrival: push the payload."""
         world = self.world
-        cost = world.cost
+        transport = self.transport
         now = world.kernel.now
-        if world.fabric is not None and self.payload.nbytes > 0:
+        if (
+            world.fabric is not None
+            and transport.kind == "network"
+            and self.payload.nbytes > 0
+        ):
             # Fabric mode: charge the push overhead, then hand the wire
             # segment to the flow engine.
+            overhead = transport.rendezvous_overhead
             if world.obs.wait_edges_enabled and self._origin is not None:
-                self._hops.append((now, now + cost.rendezvous_overhead, "overhead"))
+                self._hops.append((now, now + overhead, transport.overhead_resource))
             self._cts_time = now
-            world.kernel.call_later(cost.rendezvous_overhead, self._start_push_flow)
+            world.kernel.call_later(overhead, self._start_push_flow)
             return
-        push = cost.rendezvous_overhead + cost.wire(self.payload.nbytes, factor=self.wire_factor)
+        overhead = transport.rendezvous_overhead
+        push = overhead + transport.transfer_time(
+            self.payload.nbytes, factor=self.wire_factor, derived=self.derived
+        )
         done = now + push
-        arrival = done + cost.latency
+        arrival = done + transport.control_latency
         world.trace("send.push", src=self.proc.rank, dest=self.dest,
-                    nbytes=self.payload.nbytes, done=done, arrival=arrival)
+                    nbytes=self.payload.nbytes, done=done, arrival=arrival,
+                    transport=transport.kind)
         if world.obs.enabled and self._span is not None:
             world.obs.complete(now, arrival, "proto.push", rank=self.proc.rank,
                                category="transfer", parent=self._span,
-                               dest=self.dest, nbytes=self.payload.nbytes)
+                               dest=self.dest, nbytes=self.payload.nbytes,
+                               transport=transport.kind)
         completion_cause = None
         if world.obs.wait_edges_enabled and self._origin is not None:
-            self._hops.append((now, now + cost.rendezvous_overhead, "overhead"))
-            self._hops.append((now + cost.rendezvous_overhead, done, "wire"))
+            self._hops.append((now, now + overhead, transport.overhead_resource))
+            self._hops.append((now + overhead, done, transport.payload_resource))
             origin, origin_time = self._origin
             completion_cause = WakeCause(
                 "send-complete", origin=origin, origin_time=origin_time,
@@ -401,7 +435,7 @@ class SendOperation:
             )
             self._data_cause = WakeCause(
                 "data-landing", origin=origin, origin_time=origin_time,
-                hops=tuple(self._hops) + ((done, arrival, "latency"),),
+                hops=tuple(self._hops) + ((done, arrival, transport.control_resource),),
             )
         self.handle._complete_at(done, completion_cause)
         if self.on_buffer_free is not None:

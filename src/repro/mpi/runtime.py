@@ -24,6 +24,7 @@ from typing import Any, Callable
 from ..machine.platform import Platform
 from ..machine.registry import get_platform
 from ..net.flows import FlowEngine
+from ..net.transport import NetworkTransport, ShmTransport, Transport, transport_for_pair
 from ..obs import NULL_RECORDER, MetricsRegistry, SpanRecorder
 from ..sim.kernel import Kernel
 from ..sim.sync import SimCondition
@@ -135,6 +136,8 @@ class World:
         self.c_staged_sends = m.counter("p2p.staged_sends")
         self.c_bytes_staged = m.counter("p2p.bytes_staged")
         self.c_staging_chunks = m.counter("p2p.staging_chunks")
+        self.c_shm_sends = m.counter("p2p.shm_sends")
+        self.c_shm_bytes = m.counter("p2p.shm_bytes")
         #: The flight recorder: the kernel's tracer when it speaks the
         #: span API, else the shared no-op.  Instrumentation sites guard
         #: on ``obs.enabled`` so the untraced path stays free.
@@ -154,6 +157,19 @@ class World:
             )
         else:
             self.fabric = None
+        self.topology = topology
+        #: Per-pair transport selection.  The network transport is the
+        #: universal fallback (pure delegation to the cost model, hence
+        #: bit-identical to the pre-transport closed form); the shm
+        #: transport exists only when the platform attaches a model
+        #: *and* the topology can co-locate ranks.
+        self.net_transport = NetworkTransport(self.cost)
+        if platform.shm_reachable:
+            self.shm_transport: ShmTransport | None = ShmTransport(
+                platform.shm, platform.memory
+            )
+        else:
+            self.shm_transport = None
         self.processes: list[Process] = []
         #: RMA window states, keyed by (context id, per-context index).
         self.win_registry: dict[tuple[int, int], Any] = {}
@@ -161,6 +177,14 @@ class World:
         self.split_registry: dict[tuple[int, int], dict[int, tuple[int | None, int]]] = {}
         self._context_table: dict[Any, int] = {}
         self._next_context = 1  # context 0 is COMM_WORLD
+
+    def transport_for(self, src: int, dst: int) -> Transport:
+        """The fabric carrying bytes from world rank ``src`` to ``dst``:
+        shared memory when both are co-located and an shm model is
+        reachable, the network otherwise."""
+        return transport_for_pair(
+            self.net_transport, self.shm_transport, self.topology, src, dst
+        )
 
     def context_for(self, key: Any) -> int:
         """Deterministic context-id allocation: every rank deriving the

@@ -37,6 +37,10 @@ class _QueuedOp:
     nbytes: int
     wire_time: float
     apply: Callable[[], None]  # functional data movement
+    #: Which fabric priced ``wire_time`` (``"network"`` / ``"shm"``).
+    transport_kind: str = "network"
+    #: The pair's one-way control latency (the landing hop at the fence).
+    land_latency: float = 0.0
 
 
 class _WinState:
@@ -181,7 +185,18 @@ class Win:
                                         plan_reuse=origin_plan.reuses,
                                         kernel=kernel_mode())
         payload = comm._build_payload(origin_buf, origin_plan)
-        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+        transport = comm.world.transport_for(
+            comm.process.rank, comm._world_rank(target_rank)
+        )
+        wire = (
+            transport.transfer_time(
+                nbytes,
+                factor=cost.onesided_factor(nbytes),
+                derived=not origin_pattern.is_contiguous,
+            )
+            if nbytes
+            else 0.0
+        )
 
         tplan, tcount, tdisp = target_plan, target_count, target_disp
 
@@ -194,10 +209,15 @@ class Win:
             tplan.check_fits(window.size, "Put target")
             tplan.unpack_from(payload.data, 0, window)
 
-        self._pending.append(_QueuedOp("put", nbytes, wire, apply))
+        self._pending.append(
+            _QueuedOp("put", nbytes, wire, apply,
+                      transport_kind=transport.kind,
+                      land_latency=transport.control_latency)
+        )
         comm.world.metrics.counter("rma.ops").inc()
         comm.world.metrics.counter("rma.bytes").inc(nbytes)
-        comm.world.trace("rma.put", rank=comm.rank, target=target_rank, nbytes=nbytes)
+        comm.world.trace("rma.put", rank=comm.rank, target=target_rank, nbytes=nbytes,
+                         transport=transport.kind)
 
     def Get(
         self,
@@ -235,7 +255,14 @@ class Win:
         target_buf = self._target_buffer(target_rank, "Get")
         self._check_target_region(target_buf, target_disp, target_plan, "Get")
         task.sleep(cost.call())
-        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+        transport = comm.world.transport_for(
+            comm.process.rank, comm._world_rank(target_rank)
+        )
+        wire = (
+            transport.transfer_time(nbytes, factor=cost.onesided_factor(nbytes))
+            if nbytes
+            else 0.0
+        )
         origin_pattern = origin_plan.pattern
         scatter_cost = (
             0.0
@@ -254,10 +281,15 @@ class Win:
             tplan.pack_into(window, staged)
             oplan.unpack_from(staged, 0, origin_buf.bytes)
 
-        self._pending.append(_QueuedOp("get", nbytes, wire + scatter_cost, apply))
+        self._pending.append(
+            _QueuedOp("get", nbytes, wire + scatter_cost, apply,
+                      transport_kind=transport.kind,
+                      land_latency=transport.control_latency)
+        )
         comm.world.metrics.counter("rma.ops").inc()
         comm.world.metrics.counter("rma.bytes").inc(nbytes)
-        comm.world.trace("rma.get", rank=comm.rank, target=target_rank, nbytes=nbytes)
+        comm.world.trace("rma.get", rank=comm.rank, target=target_rank, nbytes=nbytes,
+                         transport=transport.kind)
 
     def Accumulate(
         self,
@@ -287,7 +319,14 @@ class Win:
                 f"the {target_buf.nbytes}-byte window"
             )
         task.sleep(cost.call())
-        wire = cost.wire(nbytes, factor=cost.onesided_factor(nbytes)) if nbytes else 0.0
+        transport = comm.world.transport_for(
+            comm.process.rank, comm._world_rank(target_rank)
+        )
+        wire = (
+            transport.transfer_time(nbytes, factor=cost.onesided_factor(nbytes))
+            if nbytes
+            else 0.0
+        )
         snapshot = origin.copy()
         combine = REDUCE_OPS[op]
 
@@ -297,10 +336,15 @@ class Win:
             region = target_buf.bytes[target_disp : target_disp + nbytes].view(snapshot.dtype)
             combine(region, snapshot.reshape(-1), out=region)
 
-        self._pending.append(_QueuedOp("accumulate", nbytes, wire, apply))
+        self._pending.append(
+            _QueuedOp("accumulate", nbytes, wire, apply,
+                      transport_kind=transport.kind,
+                      land_latency=transport.control_latency)
+        )
         comm.world.metrics.counter("rma.ops").inc()
         comm.world.metrics.counter("rma.bytes").inc(nbytes)
-        comm.world.trace("rma.acc", rank=comm.rank, target=target_rank, nbytes=nbytes)
+        comm.world.trace("rma.acc", rank=comm.rank, target=target_rank, nbytes=nbytes,
+                         transport=transport.kind)
 
     # ------------------------------------------------------------------
     def Fence(self) -> None:
@@ -315,19 +359,36 @@ class Win:
         task.sleep(cost.call())
         obs = comm.world.obs
         if self._pending:
-            # Drain: transfers serialize on the origin's injection port;
-            # the final payload lands one latency later.
-            total = sum(op.wire_time for op in self._pending)
-            drained_bytes = sum(op.nbytes for op in self._pending)
+            # Drain: transfers serialize on the origin's injection port
+            # (network) or its memory system (shm); the final payload
+            # lands one control latency later.  Segments are grouped by
+            # transport so the profiler blames each fabric separately —
+            # with no shm ops both sums and every instant reduce to the
+            # historical single-transport arithmetic bit for bit.
+            net_ops = [op for op in self._pending if op.transport_kind == "network"]
+            shm_ops = [op for op in self._pending if op.transport_kind == "shm"]
+            total_net = sum(op.wire_time for op in net_ops)
+            total_shm = sum(op.wire_time for op in shm_ops)
+            total = total_net + total_shm
+            land = max(op.land_latency for op in self._pending)
             t0 = task.now
-            task.sleep(total + cost.latency)
+            task.sleep(total + land)
             for op in self._pending:
                 op.apply()
             comm.world.metrics.counter("rma.drains").inc()
             if obs.enabled:
-                obs.complete(t0, t0 + total, "rma.drain", rank=comm.process.rank,
-                             category="rma", nops=len(self._pending),
-                             nbytes=drained_bytes)
+                if net_ops:
+                    obs.complete(t0, t0 + total_net, "rma.drain",
+                                 rank=comm.process.rank, category="rma",
+                                 nops=len(net_ops),
+                                 nbytes=sum(op.nbytes for op in net_ops),
+                                 transport="network")
+                if shm_ops:
+                    obs.complete(t0 + total_net, t0 + total, "rma.shm_drain",
+                                 rank=comm.process.rank, category="rma",
+                                 nops=len(shm_ops),
+                                 nbytes=sum(op.nbytes for op in shm_ops),
+                                 transport="shm")
                 # The trailing latency of the drain sleep: the last
                 # payload in flight to the target.  End at the clock,
                 # not ``t0 + total + latency`` — the sleep advanced the

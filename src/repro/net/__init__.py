@@ -11,6 +11,7 @@ the closed-form model bit for bit.
 
 from .flows import LINK_UTIL_EVENT, Flow, FlowEngine, max_min_rates, max_min_rates_scalar
 from .routing import Router
+from .transport import NetworkTransport, ShmTransport, Transport, transport_for_pair
 from .topology import (
     TOPOLOGY_KINDS,
     Link,
@@ -27,7 +28,11 @@ __all__ = [
     "LINK_UTIL_EVENT",
     "max_min_rates",
     "max_min_rates_scalar",
+    "NetworkTransport",
     "Router",
+    "ShmTransport",
+    "Transport",
+    "transport_for_pair",
     "Link",
     "Topology",
     "TOPOLOGY_KINDS",

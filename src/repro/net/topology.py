@@ -134,6 +134,12 @@ class Topology:
             return rank % self.nnodes
         return rank // self.ranks_per_node
 
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two ranks are co-located under the placement — the
+        per-pair switch between the network fabric and the intra-node
+        transport (see :mod:`repro.net.transport`)."""
+        return self.node_of(a) == self.node_of(b)
+
     def describe(self) -> str:
         """One-line summary for CLI output and reports."""
         if self.is_flat:

@@ -1,0 +1,210 @@
+"""Pluggable wire pricing: the :class:`Transport` abstraction.
+
+The protocol layer (:mod:`repro.mpi.protocol`) historically priced every
+in-flight segment against the platform's :class:`NetworkModel`:
+``latency`` for control hops, ``wire(n)`` for payloads,
+``rendezvous_overhead`` for the push setup.  This module extracts that
+contract into an explicit interface so a rank pair's bytes can ride a
+different fabric — today, an intra-node shared-memory transport for
+co-located pairs (Adefemi's single-node study, arXiv:2511.13804, shows
+derived-datatype rankings *flip* there).
+
+Two implementations:
+
+:class:`NetworkTransport`
+    Pure delegation to the job's :class:`~repro.mpi.costs.CostModel`.
+    Every quantity is the *same float computed by the same expression*
+    as before the refactor, so all closed-form virtual times stay
+    bit-identical; the flow-engine (fabric) paths remain exclusive to
+    this transport.
+
+:class:`ShmTransport`
+    Node-local delivery priced through the platform's
+    :class:`~repro.machine.memory.MemoryModel`, so cache-hierarchy
+    effects carry over.  Two modes, selected per message size:
+
+    * **eager analogue** (``n <= shm.eager_limit``): double copy through
+      a bounded shared segment — sender memcpy in, receiver memcpy out,
+      plus per-chunk flow-control bookkeeping (``ceil(n/segment)``
+      chunks).  A *derived* payload skips the copy-in: the library's
+      staging gather (already priced by the sender's inline costs)
+      lands directly in the segment — the mechanism behind the on-node
+      ranking flip.
+    * **rendezvous analogue** (above the limit): with
+      ``single_copy=True`` a CMA-style one-memcpy transfer straight
+      between address spaces (no segment, no chunking); otherwise the
+      same chunked double copy as the eager path.
+
+Every in-flight instant of an shm transfer — control handoffs, the
+copies, the rendezvous setup — blames the ``"shm"`` critical-path
+resource, which is what makes the ``all-remote`` what-if exact: the
+receiver-side copy-out in :mod:`repro.mpi.comm` is charged identically
+for both transports, so swapping transports rescales exactly the hops
+tagged ``shm``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.memory import MemoryModel
+    from ..machine.network import ShmModel
+    from ..mpi.costs import CostModel
+
+__all__ = ["Transport", "NetworkTransport", "ShmTransport", "transport_for_pair"]
+
+
+class Transport:
+    """What the protocol layer needs from a fabric, and nothing more.
+
+    Subclasses provide the four priced quantities (eager
+    classification, control latency, payload transfer, rendezvous
+    setup) plus the critical-path resource each should blame.
+    """
+
+    #: Registry-style discriminator (``"network"`` / ``"shm"``).
+    kind: str = "abstract"
+    #: Critical-path resource for payload (data-bearing) hops.
+    payload_resource: str = "other"
+    #: Critical-path resource for control hops (eager header, RTS/CTS,
+    #: data-landing notification).
+    control_resource: str = "other"
+    #: Critical-path resource for the rendezvous push setup.
+    overhead_resource: str = "other"
+
+    def uses_eager(self, nbytes: int, *, packed: bool = False, derived: bool = False) -> bool:
+        raise NotImplementedError
+
+    @property
+    def control_latency(self) -> float:
+        """One-way time of a zero-byte control message."""
+        raise NotImplementedError
+
+    def transfer_time(self, nbytes: int, *, factor: float = 1.0, derived: bool = False) -> float:
+        """In-flight delivery time of the payload itself (the slot the
+        closed-form model filled with ``wire(n) / factor``)."""
+        raise NotImplementedError
+
+    @property
+    def rendezvous_overhead(self) -> float:
+        """Fixed setup fee charged between CTS arrival and the push."""
+        raise NotImplementedError
+
+    def in_flight_time(
+        self,
+        nbytes: int,
+        *,
+        packed: bool = False,
+        derived: bool = False,
+        factor: float = 1.0,
+    ) -> float:
+        """Total one-way in-flight time, mirroring the simulator's state
+        machine: one control hop for eager; RTS + CTS + setup + payload
+        + landing for rendezvous.  This is the quantity the ``all-remote``
+        what-if and the transport-aware pricer compare across fabrics.
+        """
+        transfer = self.transfer_time(nbytes, factor=factor, derived=derived)
+        if self.uses_eager(nbytes, packed=packed, derived=derived):
+            return self.control_latency + transfer
+        return 3.0 * self.control_latency + self.rendezvous_overhead + transfer
+
+
+class NetworkTransport(Transport):
+    """The inter-node fabric: verbatim delegation to the cost model.
+
+    Delegation (rather than re-derivation from the platform) is the
+    bit-identity guarantee — ``control_latency`` *is* ``cost.latency``,
+    ``transfer_time`` *is* ``cost.wire``, evaluated by the same code in
+    the same order as before the transport layer existed.
+    """
+
+    kind = "network"
+    payload_resource = "wire"
+    control_resource = "latency"
+    overhead_resource = "overhead"
+
+    def __init__(self, cost: "CostModel"):
+        self.cost = cost
+
+    def uses_eager(self, nbytes: int, *, packed: bool = False, derived: bool = False) -> bool:
+        return self.cost.uses_eager(nbytes, packed=packed, derived=derived)
+
+    @property
+    def control_latency(self) -> float:
+        return self.cost.latency
+
+    def transfer_time(self, nbytes: int, *, factor: float = 1.0, derived: bool = False) -> float:
+        return self.cost.wire(nbytes, factor=factor)
+
+    @property
+    def rendezvous_overhead(self) -> float:
+        return self.cost.rendezvous_overhead
+
+
+class ShmTransport(Transport):
+    """Intra-node delivery for co-located rank pairs.
+
+    All quantities are priced through the :class:`MemoryModel` (cold
+    copies through the cache hierarchy), and every hop blames the
+    ``"shm"`` resource — see the module docstring for the two modes.
+    """
+
+    kind = "shm"
+    payload_resource = "shm"
+    control_resource = "shm"
+    overhead_resource = "shm"
+
+    def __init__(self, model: "ShmModel", memory: "MemoryModel"):
+        self.model = model
+        self.memory = memory
+
+    def uses_eager(self, nbytes: int, *, packed: bool = False, derived: bool = False) -> bool:
+        # No packed/derived quirks: those encode NIC/fabric behaviour a
+        # node-local transport does not have (documented in
+        # docs/networking.md).
+        return self.model.uses_eager(nbytes)
+
+    @property
+    def control_latency(self) -> float:
+        return self.model.latency
+
+    @property
+    def rendezvous_overhead(self) -> float:
+        """Mapping setup for the CMA-style push (page pinning etc.)."""
+        return self.model.rendezvous_overhead
+
+    def transfer_time(self, nbytes: int, *, factor: float = 1.0, derived: bool = False) -> float:
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        if nbytes <= 0:
+            return 0.0
+        model = self.model
+        copy = self.memory.contiguous_copy_cost(nbytes, warm=False)
+        if model.uses_eager(nbytes) or not model.single_copy:
+            # Bounded-segment double copy; staging of a derived payload
+            # gathers straight into the segment, skipping the copy-in.
+            chunks = math.ceil(nbytes / model.segment_bytes)
+            copies = 1 if derived else 2
+            total = copies * copy + chunks * model.chunk_overhead
+        else:
+            # CMA-style single copy, sender address space -> receiver.
+            total = copy
+        return total / factor
+
+
+def transport_for_pair(
+    network: NetworkTransport,
+    shm: ShmTransport | None,
+    topology: Topology | None,
+    src: int,
+    dst: int,
+) -> Transport:
+    """Per-pair selection: co-located ranks ride shared memory when a
+    reachable shm transport exists, everything else rides the fabric."""
+    if shm is not None and topology is not None and topology.same_node(src, dst):
+        return shm
+    return network

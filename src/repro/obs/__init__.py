@@ -28,11 +28,14 @@ disabled recorder (:class:`NullRecorder`) is a no-op object.
 from .attribution import PHASE_PRIORITY, attribute_phases
 from .critical import (
     PERTURBATIONS,
+    RESOURCE_DESCRIPTIONS,
     RESOURCES,
     CriticalPath,
     PathSegment,
     Perturbation,
+    all_remote_perturbation,
     extract_critical_path,
+    resource_legend,
     span_slack,
 )
 from .export import (
@@ -62,7 +65,10 @@ __all__ = [
     "Perturbation",
     "PERTURBATIONS",
     "RESOURCES",
+    "RESOURCE_DESCRIPTIONS",
+    "all_remote_perturbation",
     "extract_critical_path",
+    "resource_legend",
     "span_slack",
     "Span",
     "SpanRecorder",

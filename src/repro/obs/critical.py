@@ -21,6 +21,10 @@ Each segment is blamed to a **resource**:
 ``wire``
     Serialization time on the fabric (including derated RMA/Bsend
     pushes).
+``shm``
+    Every in-flight instant of an intra-node shared-memory transfer:
+    control handoffs, segment/CMA copies, rendezvous-analogue setup
+    (zero whenever no co-located pair uses the shm transport).
 ``contention``
     Extra wire time caused by max-min bandwidth sharing on a non-flat
     topology: the gap between a flow's contention-free drain time and
@@ -70,22 +74,13 @@ __all__ = [
     "CriticalPath",
     "Perturbation",
     "PERTURBATIONS",
+    "RESOURCES",
+    "RESOURCE_DESCRIPTIONS",
+    "all_remote_perturbation",
     "extract_critical_path",
+    "resource_legend",
     "span_slack",
 ]
-
-#: All blame targets, in report order.
-RESOURCES = (
-    "pack",
-    "unpack",
-    "copy",
-    "wire",
-    "contention",
-    "latency",
-    "overhead",
-    "sync",
-    "other",
-)
 
 #: Span-name blame: most specific first (falls back to category).
 _NAME_RESOURCE = {
@@ -101,6 +96,7 @@ _NAME_RESOURCE = {
     "cache.flush": "overhead",
     "rma.staging": "pack",
     "rma.drain": "wire",
+    "rma.shm_drain": "shm",
     "rma.land": "latency",
     "rma.fence": "sync",
 }
@@ -128,6 +124,73 @@ _CATEGORY_RESOURCE = {
 _LABEL_RESOURCE = {
     "buffer-drain": "wire",
 }
+
+#: Resources that :class:`~repro.sim.trace.WakeCause` hop tiles may
+#: carry beyond what the span blame tables produce — the protocol
+#: layer's transports emit these directly (see
+#: :mod:`repro.net.transport` for the per-transport mapping).
+_HOP_RESOURCES = ("wire", "shm", "contention", "latency", "overhead")
+
+#: Preferred report order; resources a blame table introduces beyond
+#: this list are appended alphabetically rather than dropped.
+_REPORT_ORDER = (
+    "pack",
+    "unpack",
+    "copy",
+    "wire",
+    "shm",
+    "contention",
+    "latency",
+    "overhead",
+    "sync",
+    "other",
+)
+
+
+def _derive_resources() -> tuple[str, ...]:
+    """All blame targets, derived from the blame tables themselves (not
+    a second hardcoded list): the union of every resource a span name,
+    span category, cause label, or wake-cause hop can produce, plus the
+    ``other`` fallback.  Adding a blame rule for a new resource makes
+    it appear everywhere — shares, legends, reports — automatically."""
+    known = (
+        set(_NAME_RESOURCE.values())
+        | set(_CATEGORY_RESOURCE.values())
+        | set(_LABEL_RESOURCE.values())
+        | set(_HOP_RESOURCES)
+        | {"other"}
+    )
+    ordered = tuple(name for name in _REPORT_ORDER if name in known)
+    return ordered + tuple(sorted(known - set(_REPORT_ORDER)))
+
+
+#: All blame targets, in report order (derived — see above).
+RESOURCES = _derive_resources()
+
+#: One-line meaning of each resource, for dynamically built legends.
+RESOURCE_DESCRIPTIONS = {
+    "pack": "sender-side gather/pack CPU time",
+    "unpack": "receiver-side scatter/unpack CPU time",
+    "copy": "library buffer copies (eager bounce, Bsend copy-in)",
+    "wire": "serialization on the network fabric",
+    "shm": "intra-node shared-memory transport (copies, handoffs, setup)",
+    "contention": "extra wire time from max-min link sharing",
+    "latency": "handshake and propagation delays",
+    "overhead": "per-call CPU costs",
+    "sync": "barrier/fence release costs",
+    "other": "unattributed time (idle drain, untracked waits)",
+}
+
+
+def resource_legend() -> list[str]:
+    """``"name: meaning"`` lines for every blame target, in report
+    order.  Driven by :data:`RESOURCES` (itself derived from the blame
+    tables), so a new resource shows up without manual edits."""
+    return [
+        f"{name}: {RESOURCE_DESCRIPTIONS.get(name, 'unclassified resource')}"
+        for name in RESOURCES
+    ]
+
 
 _PRIORITY_INDEX = {name: i for i, name in enumerate(PHASE_PRIORITY)}
 
@@ -310,6 +373,52 @@ PERTURBATIONS: dict[str, Perturbation] = {
         transform=lambda p: replace(p, topology=None),
     ),
 }
+
+
+def all_remote_perturbation(
+    platform: Platform,
+    nbytes: int,
+    *,
+    packed: bool = False,
+    derived: bool = False,
+    factor: float = 1.0,
+) -> Perturbation:
+    """What-if: every message crosses the network ("all ranks remote").
+
+    Unlike the static catalogue, the predictor scale depends on the
+    message size — replacing an shm hop by a network hop multiplies its
+    in-flight time by ``net/shm`` for *that* size, not by a universal
+    constant.  The returned perturbation is therefore exact (not just a
+    bound) whenever the shm segments on the critical path all carry
+    ``nbytes``-sized messages with the given payload flavour *and* both
+    transports classify that size the same way (eager vs rendezvous) —
+    a mode flip changes the receiver-side copy structure, which lives
+    outside the in-flight window, so the prediction degrades to
+    first-order there.  Small control messages (barrier, pong acks)
+    riding shm in a mixed run likewise scale by the payload ratio
+    instead of the latency ratio.
+
+    The validating transform simply detaches the shm model: with
+    ``shm=None`` no pair is co-located in transport terms, so the re-run
+    prices every send through the network path.
+    """
+    from ..mpi.costs import CostModel
+    from ..net.transport import NetworkTransport, ShmTransport
+
+    if platform.shm is None:
+        raise ValueError("platform has no shm model attached")
+    net = NetworkTransport(CostModel(platform))
+    shm = ShmTransport(platform.shm, platform.memory)
+    shm_time = shm.in_flight_time(nbytes, packed=packed, derived=derived, factor=factor)
+    net_time = net.in_flight_time(nbytes, packed=packed, derived=derived, factor=factor)
+    if shm_time <= 0.0:
+        raise ValueError("shm in-flight time is zero; cannot form a scale")
+    return Perturbation(
+        key="all-remote",
+        label=f"all ranks remote ({nbytes}B messages)",
+        scales={"shm": net_time / shm_time},
+        transform=lambda p: replace(p, shm=None),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""The five built-in regression gates, ported from ``tools/check_*.py``.
+"""The built-in regression gates, ported from ``tools/check_*.py``.
 
 Each legacy script's measurement body lives here as a
 :class:`~.gates.GateSpec`; the scripts themselves remain as thin shims
@@ -21,6 +21,11 @@ the registry entry.  Registered gates:
 ``contention-overhead``
     The flat-topology bypass: 64 golden cells bit-identical through a
     cold and a warm store, and the bypass's wall-clock cost bounded.
+``shm-overhead``
+    The transport refactor's no-regression contract: the same 64
+    golden cells bit-identical cold + warm, plus an all-on-node
+    64-rank halo whose wall-clock with the shm transport stays within
+    noise of the pre-refactor fabric path.
 ``kernel-speedup``
     The batched kernel tiers (gather/scatter, flow re-solve) must keep
     beating the scalar tiers, bit-identically.
@@ -579,6 +584,123 @@ register(
                 op="<=",
                 threshold_option="contention.max_overhead",
                 default_threshold=1.2,
+            ),
+        ),
+    )
+)
+
+
+# ======================================================================
+# shm-overhead
+# ======================================================================
+def _shm_halo_setup(ctx: GateContext):
+    """The all-on-node halo: every rank of the job on one node, so all
+    ring faces ride the shm transport when the model is attached and
+    the (pre-refactor) fabric path when it is not."""
+    from ..core.halo import HaloSpec
+    from ..machine import get_platform
+    from ..machine.network import default_shm_model
+    from ..net import make_topology
+
+    nranks = ctx.opt_int("shm.ranks", 64) or 64
+    spec = HaloSpec(nx=64, ny=32, ghost=2, iterations=2)
+    topo = make_topology(
+        "fat-tree", nranks, ranks_per_node=nranks, placement="block"
+    )
+    plat_net = get_platform("skx-impi").with_topology(topo)
+    return nranks, spec, plat_net, plat_net.with_shm(default_shm_model())
+
+
+def _shm_time_halo(spec, nranks: int, platform) -> tuple[float, int]:
+    """(wall seconds, shm sends) of one halo job on ``platform``."""
+    from ..core.halo import halo_program
+    from ..mpi.runtime import run_mpi
+
+    program = halo_program(spec)
+    t0 = time.perf_counter()
+    job = run_mpi(program, nranks=nranks, platform=platform)
+    elapsed = time.perf_counter() - t0
+    return elapsed, int(job.metrics.counter("p2p.shm_sends").value)
+
+
+def _shm_goldens(ctx: GateContext) -> dict[str, float]:
+    """Cold + warm golden passes against the 64 recorded cells — the
+    transport refactor must leave every flat-topology digest and scheme
+    time bit-identical.  Expensive, so computed once per gate run and
+    cached across the timing repeats."""
+    cached = ctx.scratch.get("shm_goldens")
+    if cached is not None:
+        return cached
+    from ..exec import Executor, ResultStore
+
+    golden = json.loads(
+        (ctx.repo / "tests" / "core" / "golden_scheme_times.json").read_text()
+    )
+    with tempfile.TemporaryDirectory(prefix="shm-store-") as tmp:
+        store = ResultStore(tmp)
+        cold = Executor(cache=store)
+        cold_bad = _count_golden_mismatches(cold, golden)
+        warm = Executor(cache=store)
+        warm_bad = _count_golden_mismatches(warm, golden)
+        result = {
+            "golden_mismatches": float(cold_bad + warm_bad),
+            "unexpected_cold_hits": float(cold.cells_cached),
+            "warm_reexecutions": float(warm.cells_executed),
+            "golden_cells": float(len(golden)),
+        }
+    ctx.scratch["shm_goldens"] = result
+    return result
+
+
+def _shm_measure(ctx: GateContext) -> dict[str, float]:
+    metrics = dict(_shm_goldens(ctx))
+    nranks, spec, plat_net, plat_shm = _shm_halo_setup(ctx)
+    t_net, net_shm_sends = _shm_time_halo(spec, nranks, plat_net)
+    t_shm, shm_sends = _shm_time_halo(spec, nranks, plat_shm)
+    metrics.update(
+        network_seconds=t_net,
+        shm_seconds=t_shm,
+        overhead=t_shm / t_net,
+        shm_sends=float(shm_sends),
+        network_shm_sends=float(net_shm_sends),
+    )
+    return metrics
+
+
+register(
+    GateSpec(
+        name="shm-overhead",
+        title="shm transport: bit-identical goldens, bounded halo cost",
+        ns="shm",
+        measure=_shm_measure,
+        default_repeats=3,
+        describe=lambda ctx: {
+            "workload": "64 golden cells (cold + warm store) and an "
+            "all-on-node 64-rank halo with/without the shm transport"
+        },
+        checks=(
+            GateCheck(
+                name="goldens",
+                metric="golden_mismatches",
+                op="<=",
+                threshold_option="shm.max_mismatches",
+                default_threshold=0.0,
+                informational=("unexpected_cold_hits", "warm_reexecutions"),
+            ),
+            GateCheck(
+                name="halo-overhead",
+                metric="overhead",
+                op="<=",
+                threshold_option="shm.max_overhead",
+                default_threshold=1.3,
+            ),
+            GateCheck(
+                name="shm-exercised",
+                metric="shm_sends",
+                op=">=",
+                threshold_option="shm.min_shm_sends",
+                default_threshold=1.0,
+                informational=("network_shm_sends",),
             ),
         ),
     )

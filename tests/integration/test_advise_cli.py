@@ -19,7 +19,42 @@ def test_advise_golden_output_64kb_skx(capsys):
     assert "rows_to_vector" in out
     assert "vs reference" in out
     assert "* copying" in out
-    assert out.strip().endswith("recommended: copying")
+    assert "recommended: copying" in out
+    assert out.strip().endswith("transport: network")
+
+
+def test_advise_block_placement_co_locates_and_flips_to_shm(capsys):
+    """With 16 ranks per node placed in blocks, ranks 0 and 1 share a
+    node, so the advice is priced over the shm transport -- where the
+    derived-type vector path gathers straight into the segment (one
+    copy) and beats copying's extra bounce."""
+    assert main(["advise", "--platform", "skx-impi", "--bytes", "65536",
+                 "--ranks-per-node", "16", "--placement", "block"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended: vector" in out
+    assert "transport: shm" in out
+    assert "co-located" in out
+
+
+def test_advise_cyclic_placement_keeps_network_pricing(capsys):
+    """Cyclic placement puts consecutive ranks on different nodes, so
+    the recommendation must match the flat/off-node golden exactly."""
+    assert main(["advise", "--platform", "skx-impi", "--bytes", "65536",
+                 "--ranks-per-node", "16", "--placement", "cyclic"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended: copying" in out
+    assert "transport: network" in out
+    assert "different nodes" in out
+
+
+def test_advise_single_rank_per_node_is_the_flat_golden(capsys):
+    """--ranks-per-node 1 means nobody is co-located: output must be
+    byte-identical to the run without any placement flags."""
+    assert main(["advise", "--platform", "skx-impi", "--bytes", "65536"]) == 0
+    flat = capsys.readouterr().out
+    assert main(["advise", "--platform", "skx-impi", "--bytes", "65536",
+                 "--ranks-per-node", "1"]) == 0
+    assert capsys.readouterr().out == flat
 
 
 def test_advise_lists_every_candidate(capsys):

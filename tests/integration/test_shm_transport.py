@@ -1,0 +1,201 @@
+"""End-to-end shm transport invariants: fingerprints, bit-identity,
+critical-path attribution, the exact all-remote what-if, and the
+on-node/off-node ranking flip."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TimingPolicy, run_pingpong, strided_for_bytes
+from repro.machine import default_shm_model, get_platform
+from repro.mpi import run_mpi
+from repro.mpi.costs import CostModel
+from repro.net import NetworkTransport, ShmTransport, make_topology
+from repro.obs import all_remote_perturbation, extract_critical_path
+
+
+def _on_node_platform(nranks=2, rpn=2):
+    """Everyone co-located: fat-tree with all ranks on one node."""
+    topo = make_topology("fat-tree", nranks, ranks_per_node=max(rpn, nranks),
+                         placement="block")
+    return get_platform("skx-impi").with_topology(topo).with_shm(default_shm_model())
+
+
+def _pingpong(platform, scheme="vector", nbytes=65536, trace=False):
+    return run_pingpong(scheme, strided_for_bytes(nbytes), platform,
+                        policy=TimingPolicy(iterations=1, flush=False),
+                        materialize=False, trace=trace)
+
+
+class TestFingerprintRules:
+    """Attaching an shm model moves the exec-cache digest exactly when
+    it can change a priced number -- and only then."""
+
+    def test_flat_platform_fingerprint_is_unchanged(self):
+        plat = get_platform("skx-impi")
+        assert plat.with_shm(default_shm_model()).fingerprint() == plat.fingerprint()
+
+    def test_one_rank_per_node_fingerprint_is_unchanged(self):
+        topo = make_topology("fat-tree", 4, ranks_per_node=1)
+        plat = get_platform("skx-impi").with_topology(topo)
+        assert plat.with_shm(default_shm_model()).fingerprint() == plat.fingerprint()
+
+    def test_reachable_shm_moves_the_fingerprint(self):
+        topo = make_topology("fat-tree", 4, ranks_per_node=2, placement="block")
+        plat = get_platform("skx-impi").with_topology(topo)
+        assert plat.shm_reachable is False
+        shm_plat = plat.with_shm(default_shm_model())
+        assert shm_plat.shm_reachable
+        assert shm_plat.fingerprint() != plat.fingerprint()
+
+    def test_shm_parameters_move_the_fingerprint(self):
+        from dataclasses import replace
+
+        base = _on_node_platform()
+        tweaked = base.with_shm(replace(base.shm, latency=base.shm.latency * 2))
+        assert tweaked.fingerprint() != base.fingerprint()
+
+
+class TestBitIdentity:
+    """The refactor's ground rule: configurations where no pair can
+    ride shared memory price every virtual instant bit-identically."""
+
+    def test_flat_run_is_bit_identical_with_shm_attached(self):
+        plat = get_platform("skx-impi")
+        base = _pingpong(plat)
+        shmed = _pingpong(plat.with_shm(default_shm_model()))
+        assert shmed.virtual_time == base.virtual_time
+        assert shmed.stats == base.stats
+
+    def test_all_off_node_ranks_are_bit_identical(self):
+        """Reachable shm (rpn=2) but every *active* rank on its own
+        node under cyclic placement: nobody co-located, so attaching
+        the shm model must not move any time."""
+        topo = make_topology("fat-tree", 8, ranks_per_node=2, placement="cyclic")
+        plat = get_platform("skx-impi").with_topology(topo)
+        assert plat.with_shm(default_shm_model()).shm_reachable
+
+        def program(comm):
+            buf = np.zeros(4096, np.uint8)
+            if comm.rank == 0:
+                comm.Send(buf, dest=1)
+                comm.Recv(buf, source=1)
+            elif comm.rank == 1:
+                comm.Recv(buf, source=0)
+                comm.Send(buf, dest=0)
+            comm.Barrier()
+            return comm.Wtime()
+
+        base = run_mpi(program, nranks=4, platform=plat)
+        shmed = run_mpi(program, nranks=4, platform=plat.with_shm(default_shm_model()))
+        assert shmed.virtual_time == base.virtual_time
+        assert shmed.results == base.results
+
+    def test_co_located_network_fabric_matches_flat_closed_form(self):
+        """Without an shm model, a co-located pair routed through the
+        fabric (empty route) prices exactly like the flat closed form."""
+        topo = make_topology("fat-tree", 2, ranks_per_node=2, placement="block")
+        plat = get_platform("skx-impi").with_topology(topo)
+        assert _pingpong(plat).virtual_time == _pingpong(get_platform("skx-impi")).virtual_time
+
+
+class TestCriticalPathAttribution:
+    def test_co_located_traffic_blames_shm_not_wire(self):
+        res = _pingpong(_on_node_platform(), trace=True)
+        path = extract_critical_path(res.tracer, res.virtual_time)
+        shares = path.by_resource()
+        assert shares["shm"] > 0.0
+        assert shares["wire"] == 0.0
+        assert shares["latency"] == 0.0
+
+    def test_off_node_traffic_never_blames_shm(self):
+        res = _pingpong("skx-impi", trace=True)
+        path = extract_critical_path(res.tracer, res.virtual_time)
+        assert path.by_resource()["shm"] == 0.0
+
+
+class TestAllRemoteWhatIf:
+    """predict() under the all-remote perturbation vs an actual re-run
+    with the shm model detached.  Exact (float round-off) whenever the
+    run's shm traffic is uniform in size and both transports agree on
+    the eager/rendezvous mode for that size."""
+
+    @pytest.mark.parametrize("nbytes", (8192, 262144))
+    def test_uniform_traffic_prediction_is_exact(self, nbytes):
+        plat = _on_node_platform()
+        net = NetworkTransport(CostModel(plat))
+        shm = ShmTransport(plat.shm, plat.memory)
+        # Precondition for exactness: same protocol mode on both fabrics.
+        assert net.uses_eager(nbytes) == shm.uses_eager(nbytes)
+
+        def program(comm):
+            buf = np.zeros(nbytes, np.uint8)
+            if comm.rank == 0:
+                comm.Send(buf, dest=1)
+            else:
+                comm.Recv(buf, source=0)
+
+        res = run_mpi(program, nranks=2, platform=plat, trace=True)
+        path = extract_critical_path(res.tracer, res.virtual_time)
+        assert path.by_resource()["shm"] > 0.0
+        pert = all_remote_perturbation(plat, nbytes)
+        predicted = path.predict(pert)
+        rerun = run_mpi(program, nranks=2, platform=pert.transform(plat))
+        assert math.isclose(predicted, rerun.virtual_time, rel_tol=1e-9)
+
+    def test_transform_detaches_shm(self):
+        plat = _on_node_platform()
+        pert = all_remote_perturbation(plat, 8192)
+        assert pert.transform(plat).shm is None
+        assert "8192B" in pert.label
+
+    def test_requires_an_shm_model(self):
+        with pytest.raises(ValueError):
+            all_remote_perturbation(get_platform("skx-impi"), 8192)
+
+
+class TestRankingFlip:
+    """The acceptance scenario: 64 ranks at 16 per node flips at least
+    one scheme ranking between the off-node and on-node regimes, and
+    the per-regime ``auto`` labels differ."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        from repro.experiments.halo import run_halo_experiment
+
+        return run_halo_experiment(
+            quick=True, ranks=64, ranks_per_node=16, placement="block"
+        )
+
+    def test_regimes_differ_and_auto_labels_flip(self, experiment):
+        regimes = experiment.data["regimes"]
+        assert set(regimes) == {"on-node", "off-node"}
+        chosen = {regime: advice["auto"] for regime, advice in regimes.items()}
+        assert chosen["on-node"] != chosen["off-node"]
+
+    def test_at_least_one_pairwise_ranking_flips(self, experiment):
+        regimes = experiment.data["regimes"]
+        flipped = []
+        schemes = list(regimes["on-node"]["prices"])
+        for i, a in enumerate(schemes):
+            for b in schemes[i + 1:]:
+                on = regimes["on-node"]["prices"]
+                off = regimes["off-node"]["prices"]
+                if (on[a] < on[b]) != (off[a] < off[b]):
+                    flipped.append((a, b))
+        assert flipped, f"no ranking flip between regimes: {regimes}"
+
+    def test_run_mixes_both_auto_choices(self, experiment):
+        """The 120 on-node and 8 off-node faces resolve auto to
+        different inner schemes within one run."""
+        choices = experiment.data["auto_choices"]
+        assert len(choices) >= 2
+        assert experiment.data["on_node_faces"] > 0
+        assert experiment.data["off_node_faces"] > 0
+
+    def test_shm_rides_the_critical_path(self, experiment):
+        assert experiment.passed
+        assert "shm" in experiment.summary or "shm" in experiment.details

@@ -1,0 +1,122 @@
+"""Property-based placement/co-location invariants (Hypothesis).
+
+The transport selector trusts three structural facts about
+:meth:`Topology.node_of` / :meth:`Topology.same_node`:
+
+* every placement partitions the rank space into ``nnodes`` classes of
+  exactly ``ranks_per_node`` members (block and cyclic alike, since
+  jobs span the whole machine);
+* co-location is an equivalence relation -- in particular symmetric, so
+  ``transport_for_pair(a, b)`` and ``transport_for_pair(b, a)`` always
+  agree and sends/receives price the same fabric;
+* ranks outside ``max_ranks`` are rejected, never silently wrapped onto
+  a node.
+
+These are exactly the assumptions the per-pair shm/network switch in
+:mod:`repro.net.transport` rests on, so they get an exhaustive
+randomized sweep rather than a handful of examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.net import fat_tree, make_topology, torus2d  # noqa: E402
+
+PLACEMENTS = st.sampled_from(["block", "cyclic"])
+
+
+def topologies():
+    """Fat-trees and tori over small node counts and rank densities."""
+    fat = st.builds(
+        fat_tree,
+        st.integers(min_value=1, max_value=12),
+        ranks_per_node=st.integers(min_value=1, max_value=8),
+        placement=PLACEMENTS,
+    )
+    torus = st.builds(
+        torus2d,
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        ranks_per_node=st.integers(min_value=1, max_value=8),
+        placement=PLACEMENTS,
+    )
+    return st.one_of(fat, torus)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topo=topologies())
+def test_placement_partitions_ranks_into_equal_nodes(topo):
+    """Both placements fill every node with exactly ranks_per_node
+    ranks -- no node oversubscribed, none left short."""
+    nodes = {}
+    for rank in range(topo.max_ranks):
+        nodes.setdefault(topo.node_of(rank), []).append(rank)
+    assert set(nodes) == set(range(topo.nnodes))
+    assert all(len(members) == topo.ranks_per_node for members in nodes.values())
+
+
+@settings(max_examples=200, deadline=None)
+@given(topo=topologies(), data=st.data())
+def test_co_location_is_an_equivalence(topo, data):
+    """same_node is reflexive, symmetric, and transitive on valid ranks."""
+    ranks = st.integers(min_value=0, max_value=topo.max_ranks - 1)
+    a = data.draw(ranks)
+    b = data.draw(ranks)
+    c = data.draw(ranks)
+    assert topo.same_node(a, a)
+    assert topo.same_node(a, b) == topo.same_node(b, a)
+    if topo.same_node(a, b) and topo.same_node(b, c):
+        assert topo.same_node(a, c)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topo=topologies(), data=st.data())
+def test_out_of_range_ranks_are_rejected(topo, data):
+    """max_ranks is a hard bound: placement never wraps a too-large
+    rank onto a node, and negative ranks are equally invalid."""
+    beyond = data.draw(
+        st.integers(min_value=topo.max_ranks, max_value=topo.max_ranks + 1000)
+    )
+    with pytest.raises(ValueError):
+        topo.node_of(beyond)
+    with pytest.raises(ValueError):
+        topo.node_of(-1 - data.draw(st.integers(min_value=0, max_value=10)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nnodes=st.integers(min_value=1, max_value=12),
+    rpn=st.integers(min_value=1, max_value=8),
+)
+def test_block_and_cyclic_agree_on_the_partition_shape(nnodes, rpn):
+    """The two placements permute ranks but describe the same machine:
+    identical node sets, identical per-node occupancy, and identical
+    max_ranks -- only the membership differs."""
+    block = make_topology("fat-tree", nnodes * rpn, ranks_per_node=rpn, placement="block")
+    cyclic = make_topology("fat-tree", nnodes * rpn, ranks_per_node=rpn, placement="cyclic")
+    assert block.max_ranks == cyclic.max_ranks == nnodes * rpn
+    for topo in (block, cyclic):
+        occupancy = [0] * topo.nnodes
+        for rank in range(topo.max_ranks):
+            occupancy[topo.node_of(rank)] += 1
+        assert occupancy == [rpn] * topo.nnodes
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nnodes=st.integers(min_value=2, max_value=12),
+    rpn=st.integers(min_value=2, max_value=8),
+)
+def test_block_co_locates_neighbors_cyclic_separates_them(nnodes, rpn):
+    """The acceptance scenario's regime switch, as a law: under block
+    placement ranks 0 and 1 always share a node; under cyclic (with
+    more than one node) they never do."""
+    block = fat_tree(nnodes, ranks_per_node=rpn, placement="block")
+    cyclic = fat_tree(nnodes, ranks_per_node=rpn, placement="cyclic")
+    assert block.same_node(0, 1)
+    assert not cyclic.same_node(0, 1)

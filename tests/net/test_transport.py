@@ -1,0 +1,175 @@
+"""Transport layer contracts: network bit-identity, shm pricing modes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.machine import default_shm_model, get_platform
+from repro.mpi.costs import CostModel
+from repro.net import (
+    NetworkTransport,
+    ShmTransport,
+    fat_tree,
+    transport_for_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def plat():
+    return get_platform("skx-impi")
+
+
+@pytest.fixture(scope="module")
+def cost(plat):
+    return CostModel(plat)
+
+
+@pytest.fixture(scope="module")
+def net(cost):
+    return NetworkTransport(cost)
+
+
+@pytest.fixture(scope="module")
+def shm(plat):
+    return ShmTransport(default_shm_model(), plat.memory)
+
+
+class TestNetworkTransportDelegation:
+    """NetworkTransport must return the *same floats* as the cost model
+    it wraps -- that delegation is the refactor's bit-identity proof."""
+
+    SIZES = (0, 1, 8, 1000, 4096, 65536, 10_000_000)
+
+    def test_control_latency_is_cost_latency(self, net, cost):
+        assert net.control_latency == cost.latency
+
+    def test_rendezvous_overhead_is_cost_overhead(self, net, cost):
+        assert net.rendezvous_overhead == cost.rendezvous_overhead
+
+    @pytest.mark.parametrize("nbytes", SIZES)
+    def test_transfer_time_is_wire(self, net, cost, nbytes):
+        assert net.transfer_time(nbytes) == cost.wire(nbytes)
+        assert net.transfer_time(nbytes, factor=0.5) == cost.wire(nbytes, factor=0.5)
+
+    @pytest.mark.parametrize("nbytes", SIZES)
+    @pytest.mark.parametrize("packed,derived", [(False, False), (True, False), (False, True)])
+    def test_eager_classification_matches(self, net, cost, nbytes, packed, derived):
+        assert net.uses_eager(nbytes, packed=packed, derived=derived) == cost.uses_eager(
+            nbytes, packed=packed, derived=derived
+        )
+
+    def test_kind_and_resources(self, net):
+        assert net.kind == "network"
+        assert net.payload_resource == "wire"
+        assert net.control_resource == "latency"
+        assert net.overhead_resource == "overhead"
+
+
+class TestShmTransport:
+    def test_kind_and_resources_all_shm(self, shm):
+        assert shm.kind == "shm"
+        assert shm.payload_resource == "shm"
+        assert shm.control_resource == "shm"
+        assert shm.overhead_resource == "shm"
+
+    def test_zero_bytes_is_free(self, shm):
+        assert shm.transfer_time(0) == 0.0
+
+    def test_eager_is_chunked_double_copy(self, shm, plat):
+        model = shm.model
+        n = model.eager_limit  # largest eager message
+        assert shm.uses_eager(n)
+        copy = plat.memory.contiguous_copy_cost(n, warm=False)
+        chunks = math.ceil(n / model.segment_bytes)
+        assert shm.transfer_time(n) == 2 * copy + chunks * model.chunk_overhead
+
+    def test_derived_payload_skips_copy_in(self, shm, plat):
+        """Staging a derived type gathers straight into the segment, so
+        the eager path charges one copy instead of two -- the on-node
+        ranking-flip mechanism."""
+        model = shm.model
+        n = model.eager_limit
+        copy = plat.memory.contiguous_copy_cost(n, warm=False)
+        chunks = math.ceil(n / model.segment_bytes)
+        assert shm.transfer_time(n, derived=True) == copy + chunks * model.chunk_overhead
+        assert shm.transfer_time(n, derived=True) < shm.transfer_time(n)
+
+    def test_rendezvous_is_cma_single_copy(self, shm, plat):
+        n = shm.model.eager_limit + 1
+        assert not shm.uses_eager(n)
+        assert shm.model.single_copy
+        # One memcpy, no segment chunking.
+        assert shm.transfer_time(n) == plat.memory.contiguous_copy_cost(n, warm=False)
+        # CMA ignores the derived staging discount: there is no segment
+        # copy-in to skip.
+        assert shm.transfer_time(n, derived=True) == shm.transfer_time(n)
+
+    def test_double_copy_fallback_without_cma(self, plat):
+        model = replace(default_shm_model(), single_copy=False)
+        shm = ShmTransport(model, plat.memory)
+        n = model.eager_limit + 1
+        copy = plat.memory.contiguous_copy_cost(n, warm=False)
+        chunks = math.ceil(n / model.segment_bytes)
+        assert shm.transfer_time(n) == 2 * copy + chunks * model.chunk_overhead
+
+    def test_factor_divides_transfer(self, shm):
+        n = 4096
+        assert shm.transfer_time(n, factor=0.5) == pytest.approx(2 * shm.transfer_time(n))
+        with pytest.raises(ValueError):
+            shm.transfer_time(n, factor=0.0)
+
+    def test_no_packed_or_derived_eager_quirks(self, shm):
+        """The NIC's packed/derived eager demotions are fabric behaviour;
+        a node-local transport classifies on size alone."""
+        n = shm.model.eager_limit
+        assert shm.uses_eager(n, packed=True)
+        assert shm.uses_eager(n, derived=True)
+
+    def test_control_latency_and_rendezvous_overhead(self, shm):
+        assert shm.control_latency == shm.model.latency
+        assert shm.rendezvous_overhead == shm.model.rendezvous_overhead
+
+    def test_in_flight_time_state_machine(self, shm):
+        eager_n = 1024
+        rdv_n = shm.model.eager_limit + 1
+        assert shm.in_flight_time(eager_n) == (
+            shm.control_latency + shm.transfer_time(eager_n)
+        )
+        assert shm.in_flight_time(rdv_n) == (
+            3.0 * shm.control_latency
+            + shm.rendezvous_overhead
+            + shm.transfer_time(rdv_n)
+        )
+
+
+class TestTransportForPair:
+    def test_co_located_pair_rides_shm(self, net, shm):
+        topo = fat_tree(2, ranks_per_node=2, placement="block")
+        assert transport_for_pair(net, shm, topo, 0, 1) is shm
+        assert transport_for_pair(net, shm, topo, 0, 2) is net
+
+    def test_selection_is_symmetric(self, net, shm):
+        topo = fat_tree(2, ranks_per_node=2, placement="cyclic")
+        for a in range(4):
+            for b in range(4):
+                assert transport_for_pair(net, shm, topo, a, b) is transport_for_pair(
+                    net, shm, topo, b, a
+                )
+
+    def test_no_shm_means_network_everywhere(self, net):
+        topo = fat_tree(2, ranks_per_node=2, placement="block")
+        assert transport_for_pair(net, None, topo, 0, 1) is net
+
+    def test_no_topology_means_network_everywhere(self, net, shm):
+        assert transport_for_pair(net, shm, None, 0, 1) is net
+
+    def test_flat_platform_never_reaches_shm(self, plat):
+        """The degenerate fabric keeps shm unreachable at the platform
+        level, so the fingerprint and every closed-form price stay
+        bit-identical even when an shm model is attached."""
+        flat_plat = plat.with_shm(default_shm_model())
+        assert flat_plat.topology is None or flat_plat.topology.is_flat
+        assert not flat_plat.shm_reachable

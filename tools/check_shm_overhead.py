@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Guard the shm transport refactor: bit-identical goldens, bounded cost.
+
+Thin shim over the ``shm-overhead`` entry of the :mod:`repro.perf`
+gate registry (``repro perf gate --gate shm-overhead``), maintaining
+the ``BENCH_shm.json`` record.  The measurement body (the 64 golden
+cells through a cold and warm store, plus an all-on-node 64-rank halo
+timed with and without the shm transport) lives in
+:mod:`repro.perf.workloads`.
+
+Usage::
+
+    python tools/check_shm_overhead.py [--max-overhead 1.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.perf import get_gate, run_gate  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-overhead", type=float, default=1.3,
+                        help="allowed shm/network halo wall-time ratio "
+                             "(default 1.3)")
+    parser.add_argument("--ranks", type=int, default=64,
+                        help="halo rank count, all placed on one node")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions; the median is used")
+    parser.add_argument("--output", default=str(REPO / "BENCH_shm.json"),
+                        help="where to record the measurement")
+    args = parser.parse_args(argv)
+
+    options = {
+        "shm.max_overhead": args.max_overhead,
+        "shm.ranks": args.ranks,
+        "shm.repeats": args.repeats,
+    }
+    result, _ = run_gate(get_gate("shm-overhead"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
+
+    record = {
+        "cells": int(result.metrics.get("golden_cells", 0)),
+        "golden_mismatches": int(result.metrics["golden_mismatches"]),
+        "halo_ranks": args.ranks,
+        "network_seconds": result.metrics["network_seconds"],
+        "shm_seconds": result.metrics["shm_seconds"],
+        "overhead": result.metrics["overhead"],
+        "shm_sends": int(result.metrics["shm_sends"]),
+        "max_overhead": args.max_overhead,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    failures = result.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK: goldens bit-identical, shm transport within noise")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,18 @@ with the seed, the spec, and what diverged.  Exit 1 on any failure.
 Deterministic by construction: ``--seed N`` (default 20260807) fixes
 the whole run.
 
+Before the random cases, every spec in the seed corpus
+(``tools/fuzz_corpus/*.json``) is replayed — handwritten nestings the
+random generator reaches rarely or not at all (resized-of-struct,
+subarray-of-vector), kept as committed regression anchors.  ``--replay
+ARTIFACT.json`` re-runs a single recorded case (a corpus file or a
+minimized failure artifact) and exits.
+
 Usage::
 
     python tools/fuzz_ir.py [--cases 1000] [--seed 20260807]
         [--artifact FUZZ_ir_failure.json]
+    python tools/fuzz_ir.py --replay tools/fuzz_corpus/subarray_of_vector.json
 """
 
 from __future__ import annotations
@@ -59,6 +67,18 @@ from repro.mpi.datatypes.ir import lower, program_cost, run_pipeline  # noqa: E4
 
 BASES = {"double": DOUBLE, "int": INT}
 PLATFORM = get_platform("skx-impi")
+CORPUS_DIR = REPO / "tools" / "fuzz_corpus"
+
+
+def load_corpus() -> list[tuple[str, dict, list[int]]]:
+    """The committed seed cases: (name, spec, counts) per corpus file."""
+    cases = []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        record = json.loads(path.read_text())
+        spec = record.get("minimized", {}).get("spec") or record["spec"]
+        counts = record.get("counts", [record.get("count", 1)])
+        cases.append((path.stem, spec, [int(c) for c in counts]))
+    return cases
 
 
 # ----------------------------------------------------------------------
@@ -124,12 +144,33 @@ def random_spec(rng: random.Random, depth: int = 0) -> dict:
         subsizes = [rng.randint(1, sizes[0]), rng.randint(1, sizes[1])]
         starts = [rng.randint(0, sizes[0] - subsizes[0]),
                   rng.randint(0, sizes[1] - subsizes[1])]
+        sub_base = {"kind": "named", "name": rng.choice(list(BASES))}
+        # subarray-of-vector: a derived element type, 25% of the time.
+        if depth == 0 and rng.random() < 0.25:
+            sub_base = {"kind": "vector", "count": rng.randint(1, 3),
+                        "blocklen": 1, "stride": rng.randint(1, 4),
+                        "base": {"kind": "named",
+                                 "name": rng.choice(list(BASES))}}
         return {"kind": kind, "sizes": sizes, "subsizes": subsizes,
-                "starts": starts,
-                "base": {"kind": "named", "name": rng.choice(list(BASES))}}
-    # resized
-    inner = {"kind": "vector", "count": rng.randint(1, 5),
-             "blocklen": 1, "stride": rng.randint(1, 4), "base": base}
+                "starts": starts, "base": sub_base}
+    # resized: the inner type is a vector, or (25%) a struct — the
+    # resized-of-struct nesting the seed corpus pins.
+    if depth == 0 and rng.random() < 0.25:
+        nfields = rng.randint(1, 4)
+        lengths, names, disps, pos = [], [], [], 0
+        for _ in range(nfields):
+            name = rng.choice(list(BASES))
+            length = rng.randint(1, 4)
+            pos += rng.randint(0, 3) * 8
+            lengths.append(length)
+            names.append(name)
+            disps.append(pos)
+            pos += length * BASES[name].extent
+        inner = {"kind": "struct", "lengths": lengths, "disps": disps,
+                 "fields": names}
+    else:
+        inner = {"kind": "vector", "count": rng.randint(1, 5),
+                 "blocklen": 1, "stride": rng.randint(1, 4), "base": base}
     return {"kind": "resized", "pad": rng.randint(0, 3) * 8, "base": inner}
 
 
@@ -281,11 +322,41 @@ def main(argv: list[str] | None = None) -> int:
                         help="RNG seed; the whole run is a pure function of it")
     parser.add_argument("--artifact", default=str(REPO / "FUZZ_ir_failure.json"),
                         help="where to write the minimized failure (on failure)")
+    parser.add_argument("--replay", metavar="ARTIFACT",
+                        help="re-run one recorded case (corpus file or "
+                             "failure artifact) and exit")
     args = parser.parse_args(argv)
+
+    if args.replay:
+        record = json.loads(Path(args.replay).read_text())
+        spec = record.get("minimized", {}).get("spec") or record["spec"]
+        counts = record.get("counts", [record.get("count", 1)])
+        for count in counts:
+            try:
+                message = check(spec, int(count))
+            except Exception as exc:  # noqa: BLE001
+                message = f"exception: {type(exc).__name__}: {exc}"
+            status = "OK" if message is None else f"FAIL: {message}"
+            print(f"replay {args.replay} count={count}: {status}")
+            if message is not None:
+                return 1
+        return 0
 
     rng = random.Random(args.seed)
     failures = 0
     first_failure = None
+    for name, spec, counts in load_corpus():
+        for count in counts:
+            try:
+                message = check(spec, count)
+            except Exception as exc:  # noqa: BLE001
+                message = f"exception: {type(exc).__name__}: {exc}"
+            if message is not None:
+                failures += 1
+                if first_failure is None:
+                    first_failure = (-1, spec, count, f"corpus {name}: {message}")
+    print(f"  seed corpus: {sum(len(c) for _, _, c in load_corpus())} case(s), "
+          f"{failures} failure(s)", flush=True)
     for case_no in range(args.cases):
         spec = random_spec(rng)
         count = rng.randint(0, 3)
