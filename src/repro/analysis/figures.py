@@ -98,12 +98,20 @@ def generate_figure(
     config: SweepConfig | None = None,
     *,
     progress: ProgressFn | None = None,
+    runner=None,
 ) -> FigureBundle:
-    """Run the sweep behind one paper figure and bundle its panels."""
+    """Run the sweep behind one paper figure and bundle its panels.
+
+    ``runner`` swaps the sweep backend — it must match
+    :func:`~repro.core.runner.run_sweep`'s ``(platform, config, *,
+    progress)`` signature.  ``repro figure --submit URL`` passes a
+    serve-client runner here; the panels are backend-agnostic because
+    served sweeps are bit-identical to local ones.
+    """
     try:
         spec = FIGURES[fig_id]
     except KeyError:
         known = ", ".join(sorted(FIGURES))
         raise KeyError(f"unknown figure {fig_id!r}; known figures: {known}") from None
-    sweep = run_sweep(spec.platform, config, progress=progress)
+    sweep = (runner or run_sweep)(spec.platform, config, progress=progress)
     return FigureBundle(spec=spec, sweep=sweep)

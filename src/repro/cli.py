@@ -77,9 +77,21 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_runner(args: argparse.Namespace):
+    """``run_sweep``, or a daemon-bound client runner under
+    ``--submit URL`` (served sweeps are bit-identical to local ones)."""
+    if getattr(args, "submit", None):
+        from .serve import remote_runner
+
+        return remote_runner(args.submit)
+    return run_sweep
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _sweep_config(args)
-    result = run_sweep(args.platform, config, progress=_progress if args.verbose else None)
+    result = _sweep_runner(args)(
+        args.platform, config, progress=_progress if args.verbose else None
+    )
     print(render_table(result, args.table))
     if not result.all_verified():
         print("WARNING: payload verification failed for some cells", file=sys.stderr)
@@ -92,7 +104,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     config = _sweep_config(args)
-    bundle = generate_figure(args.figure, config, progress=_progress if args.verbose else None)
+    runner = _sweep_runner(args)
+    bundle = generate_figure(
+        args.figure,
+        config,
+        progress=_progress if args.verbose else None,
+        runner=None if runner is run_sweep else runner,
+    )
     print(bundle.render(charts=not args.no_charts))
     if args.out:
         bundle.sweep.save(args.out)
@@ -117,7 +135,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_claims(args: argparse.Namespace) -> int:
     config = _sweep_config(args)
-    sweep = run_sweep(args.platform, config, progress=_progress if args.verbose else None)
+    sweep = _sweep_runner(args)(
+        args.platform, config, progress=_progress if args.verbose else None
+    )
     checks = check_platform_claims(sweep)
     for check in checks:
         print(check)
@@ -309,8 +329,53 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         print(store.stats().render())
         return 0
+    if args.evict_to is not None:
+        if args.evict_to < 0:
+            print("error: --evict-to must be non-negative", file=sys.stderr)
+            return 1
+        evicted, freed = store.evict_to(args.evict_to)
+        store.flush_counters()
+        print(
+            f"evicted {evicted} least-recently-used cell(s) "
+            f"({freed:,} B freed) from {store.root}; "
+            f"store now holds {store.total_bytes():,} B"
+        )
+        return 0
     removed = store.clear()
     print(f"cleared {removed} cached cell(s) from {store.root}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ReproServer
+
+    async def run() -> None:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            store_root=args.dir,
+            cache=not args.no_cache,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            max_store_bytes=args.max_store_bytes,
+            max_concurrent_jobs=args.max_jobs,
+        )
+        await server.start()
+        # The one line a wrapper script needs: the bound URL (port 0
+        # picks a free port, so it must be announced).
+        print(f"serving on {server.url}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.service.drain()
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserve: shut down", file=sys.stderr)
     return 0
 
 
@@ -446,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-flush", action="store_true", help="skip inter-ping-pong cache flush")
         p.add_argument("--schemes", nargs="*", choices=list(ALL_SCHEME_KEYS), default=None)
         p.add_argument("--verbose", "-v", action="store_true")
+        p.add_argument("--submit", metavar="URL", default=None,
+                       help="run the sweep on a 'repro serve' daemon instead "
+                            "of locally (results are bit-identical)")
         add_exec_options(p)
 
     p = sub.add_parser("sweep", help="run a scheme x size sweep")
@@ -554,7 +622,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("stats", "clear"))
     p.add_argument("--dir", default=None,
                    help="store root (default: $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
+    p.add_argument("--evict-to", type=int, default=None, metavar="BYTES",
+                   help="with 'clear': instead of removing everything, evict "
+                        "least-recently-used cells until the store fits in "
+                        "BYTES (the daemon's size-bound policy, run manually)")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep daemon (HTTP/JSON API over the "
+             "content-addressed executor)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listening port (0 picks a free one; the bound URL "
+                        "is printed on startup)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes per job batch (as in 'sweep --jobs')")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="CELLS",
+                   help="cells per worker task under --jobs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the on-disk result store (in-flight "
+                        "dedup still collapses concurrent duplicates)")
+    p.add_argument("--dir", default=None,
+                   help="result-store root (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-mpi)")
+    p.add_argument("--max-store-bytes", type=int, default=None, metavar="BYTES",
+                   help="bound the store size; least-recently-used cells are "
+                        "evicted past it (in-flight digests are never evicted)")
+    p.add_argument("--max-jobs", type=int, default=4, metavar="N",
+                   help="sweep jobs allowed to execute concurrently (default 4)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "perf",

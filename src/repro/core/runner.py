@@ -20,9 +20,61 @@ from .sweep import SweepConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec imports core)
     from ..exec import Executor
 
-__all__ = ["run_sweep"]
+__all__ = ["run_sweep", "sweep_metadata", "sweep_specs"]
 
 ProgressFn = Callable[[str, int, float], None]
+
+
+def sweep_metadata(platform: Platform, config: SweepConfig) -> dict:
+    """The provenance metadata one sweep records.
+
+    Shared between :func:`run_sweep` and the serve client
+    (:func:`repro.serve.submit_sweep`), so a remotely served sweep
+    carries exactly the metadata a local run of the same grid would.
+    """
+    metadata = {
+        "description": platform.description,
+        "figure": platform.figure,
+        "iterations": config.policy.iterations,
+        "flush": config.policy.flush,
+        "sizes": list(config.sizes),
+        "schemes": list(config.schemes),
+        "concurrent_streams": config.concurrent_streams,
+        "materialize_limit": config.materialize_limit,
+        "layout_factory": config.layout_factory_id,
+    }
+    if "auto" in config.schemes:
+        # Record what auto resolves to at every size — the choice is
+        # deterministic host-side arithmetic, so this is provenance, not
+        # a measurement.
+        from ..mpi.datatypes.ir import select_scheme
+
+        metadata["auto_choices"] = {
+            str(size): select_scheme(config.layout_for(size), platform)
+            for size in config.sizes
+        }
+    return metadata
+
+
+def sweep_specs(platform: Platform, config: SweepConfig) -> list:
+    """Compile one sweep's grid into :class:`~repro.exec.CellSpec`\\ s,
+    scheme-major in config order (the sweep's canonical cell order —
+    the serve daemon compiles requests through this same function, so
+    served and local grids agree cell for cell)."""
+    from ..exec import CellSpec
+
+    return [
+        CellSpec(
+            scheme=scheme_key,
+            layout=config.layout_for(size),
+            platform=platform,
+            policy=config.policy,
+            materialize=config.materialize(size),
+            concurrent_streams=config.concurrent_streams,
+        )
+        for scheme_key in config.schemes
+        for size in config.sizes
+    ]
 
 
 def run_sweep(
@@ -42,47 +94,16 @@ def run_sweep(
     The result is independent of the execution mode: serial, parallel,
     and cache-served sweeps produce bit-identical ``SweepResult``\\ s.
     """
-    from ..exec import CellSpec, current_executor
+    from ..exec import current_executor
 
     if isinstance(platform, str):
         platform = get_platform(platform)
     config = config or SweepConfig()
     result = SweepResult(
         platform=platform.name,
-        metadata={
-            "description": platform.description,
-            "figure": platform.figure,
-            "iterations": config.policy.iterations,
-            "flush": config.policy.flush,
-            "sizes": list(config.sizes),
-            "schemes": list(config.schemes),
-            "concurrent_streams": config.concurrent_streams,
-            "materialize_limit": config.materialize_limit,
-            "layout_factory": config.layout_factory_id,
-        },
+        metadata=sweep_metadata(platform, config),
     )
-    if "auto" in config.schemes:
-        # Record what auto resolves to at every size — the choice is
-        # deterministic host-side arithmetic, so this is provenance, not
-        # a measurement.
-        from ..mpi.datatypes.ir import select_scheme
-
-        result.metadata["auto_choices"] = {
-            str(size): select_scheme(config.layout_for(size), platform)
-            for size in config.sizes
-        }
-    specs = [
-        CellSpec(
-            scheme=scheme_key,
-            layout=config.layout_for(size),
-            platform=platform,
-            policy=config.policy,
-            materialize=config.materialize(size),
-            concurrent_streams=config.concurrent_streams,
-        )
-        for scheme_key in config.schemes
-        for size in config.sizes
-    ]
+    specs = sweep_specs(platform, config)
     on_result = None
     if progress is not None:
         def on_result(index: int, cell) -> None:

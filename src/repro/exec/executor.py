@@ -55,6 +55,9 @@ __all__ = ["Executor", "current_executor", "using_executor"]
 #: ``on_result`` callback: (index into the batch, finished cell).
 OnResult = Callable[[int, PingPongResult], None]
 
+#: ``on_outcome`` callback: (index, raw outcome, served-from-cache).
+OnOutcome = Callable[[int, CellOutcome, bool], None]
+
 #: Auto chunking aims for this many task waves per worker: big enough
 #: chunks to amortize dispatch, enough waves that a slow chunk cannot
 #: straggle the whole batch.
@@ -236,15 +239,44 @@ class Executor:
         """
         specs = list(specs)
         results: list[PingPongResult | None] = [None] * len(specs)
+
+        def convert(i: int, outcome: CellOutcome, cached: bool) -> None:
+            results[i] = specs[i].to_result(outcome, cached=cached)
+            if on_result is not None:
+                on_result(i, results[i])
+
+        self.execute_batch(specs, on_outcome=convert)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def execute_batch(
+        self,
+        specs: Sequence[CellSpec],
+        *,
+        on_outcome: OnOutcome | None = None,
+    ) -> list[tuple[CellOutcome, bool]]:
+        """Run every spec; return raw ``(outcome, cached)`` pairs in
+        spec order.
+
+        This is the outcome-level twin of :meth:`run_batch` — same
+        cache/serial/parallel dispatch, same accounting, same
+        interrupt contract — minus the per-cell
+        :class:`~repro.core.pingpong.PingPongResult` reconstitution.
+        The serve daemon uses it so a cell crosses the wire once as
+        raw hex times instead of twice as derived stats.
+        ``on_outcome(index, outcome, cached)`` fires as each cell
+        finishes (completion order under ``jobs > 1``).
+        """
+        specs = list(specs)
+        out: list[tuple[CellOutcome, bool] | None] = [None] * len(specs)
         pending: list[int] = []
         try:
             for i, spec in enumerate(specs):
                 hit = self.cache.get(spec) if self.cache is not None else None
                 if hit is not None:
                     self.cells_cached += 1
-                    results[i] = spec.to_result(hit, cached=True)
-                    if on_result is not None:
-                        on_result(i, results[i])
+                    out[i] = (hit, True)
+                    if on_outcome is not None:
+                        on_outcome(i, hit, True)
                 else:
                     pending.append(i)
 
@@ -257,17 +289,18 @@ class Executor:
                             outcome = execute_spec(specs[i])
                     else:
                         outcome = execute_spec(specs[i])
-                    results[i] = self._absorb(specs[i], outcome)
-                    if on_result is not None:
-                        on_result(i, results[i])
+                    self._absorb(specs[i], outcome)
+                    out[i] = (outcome, False)
+                    if on_outcome is not None:
+                        on_outcome(i, outcome, False)
             elif pending:
-                self._run_parallel(specs, pending, results, on_result)
+                self._run_parallel(specs, pending, out, on_outcome)
         finally:
             # Completed cells' store counters become durable even when
             # the batch is interrupted (same contract as cached cells).
             if self.cache is not None:
                 self.cache.flush_counters()
-        return results  # type: ignore[return-value]  # every slot is filled
+        return out  # type: ignore[return-value]  # every slot is filled
 
     def _resolve_chunk_size(self, npending: int) -> int:
         """Cells per worker task: the explicit setting, or enough per
@@ -281,8 +314,8 @@ class Executor:
         self,
         specs: list[CellSpec],
         pending: list[int],
-        results: list[PingPongResult | None],
-        on_result: OnResult | None,
+        out: list[tuple[CellOutcome, bool] | None],
+        on_outcome: OnOutcome | None,
     ) -> None:
         slims, platforms, policies = _slim_specs([specs[i] for i in pending])
         size = self._resolve_chunk_size(len(pending))
@@ -339,9 +372,10 @@ class Executor:
                                     cells=ncells,
                                 )
                         for i, outcome in zip(futures[fut], outcomes):
-                            results[i] = self._absorb(specs[i], outcome)
-                            if on_result is not None:
-                                on_result(i, results[i])
+                            self._absorb(specs[i], outcome)
+                            out[i] = (outcome, False)
+                            if on_outcome is not None:
+                                on_outcome(i, outcome, False)
             except BaseException:
                 # Persisted cells survive; everything in flight is torn
                 # down now rather than at context exit so Ctrl-C does
@@ -349,14 +383,13 @@ class Executor:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
 
-    def _absorb(self, spec: CellSpec, outcome: CellOutcome) -> PingPongResult:
-        """Account, persist, and convert one freshly executed outcome."""
+    def _absorb(self, spec: CellSpec, outcome: CellOutcome) -> None:
+        """Account and persist one freshly executed outcome."""
         self.cells_executed += 1
         if self.cache is not None:
             self.cache.put(spec, outcome)
         if outcome.metrics is not None:
             self.metrics.merge(outcome.metrics)
-        return spec.to_result(outcome)
 
     # ------------------------------------------------------------------
     def starmap(self, fn: Callable[..., Any], argtuples: Sequence[tuple]) -> list[Any]:

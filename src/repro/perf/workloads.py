@@ -29,6 +29,11 @@ the registry entry.  Registered gates:
 ``kernel-speedup``
     The batched kernel tiers (gather/scatter, flow re-solve) must keep
     beating the scalar tiers, bit-identically.
+``serve-throughput``
+    The sweep daemon under concurrent load: N clients submitting
+    colliding grids must hit the in-flight dedup / result-store path
+    (hit-rate floor), keep p99 request latency bounded, finish every
+    request, and leave the daemon healthy.
 
 Option keys are namespaced by gate (``exec.min_cache_speedup``,
 ``tracing.threshold``, ...); every gate honours ``<ns>.repeats``.
@@ -846,6 +851,147 @@ register(
                 op=">=",
                 threshold_option="kernels.min_flow_speedup",
                 default_threshold=1.0,
+            ),
+        ),
+    )
+)
+
+
+# ======================================================================
+# serve-throughput (tools/bench_serve.py)
+# ======================================================================
+def _serve_requests(rounds: int) -> list:
+    """The per-round request bodies: a shared hot grid in round 0, then
+    a perturbed-eager-limit variant per later round — every round prices
+    fresh digests while all clients inside a round collide on the same
+    ones."""
+    from ..serve import PlatformSpec, SweepRequest
+
+    requests = []
+    for index in range(rounds):
+        eager = None if index == 0 else 7000 + index
+        requests.append(
+            SweepRequest(
+                platforms=(PlatformSpec(name="ideal", eager_limit=eager),),
+                sizes=(2048, 8192),
+                schemes=("reference", "copying", "vector"),
+                iterations=2,
+                flush=False,
+            )
+        )
+    return requests
+
+
+def _serve_measure(ctx: GateContext) -> dict[str, float]:
+    import threading
+
+    from ..serve import ServeClient, ServerThread
+
+    clients = ctx.opt_int("serve.clients", 4)
+    rounds = ctx.opt_int("serve.rounds", 3)
+    requests = _serve_requests(rounds)
+    barrier = threading.Barrier(clients)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failures: list[str] = []
+
+    tmp = tempfile.mkdtemp(prefix="repro-serve-gate-")
+    try:
+        with ServerThread(store_root=tmp) as server:
+
+            def drive() -> None:
+                client = ServeClient(server.url, timeout=120.0)
+                for request in requests:
+                    try:
+                        # Synchronised release: all clients fire the
+                        # round's request together, so the daemon sees
+                        # genuinely concurrent identical submissions.
+                        barrier.wait(timeout=60.0)
+                        t0 = time.perf_counter()
+                        client.request_json(
+                            "POST", "/sweep?wait=1", request.to_json()
+                        )
+                        elapsed = time.perf_counter() - t0
+                        with lock:
+                            latencies.append(elapsed)
+                    except Exception as exc:  # noqa: BLE001 - tallied below
+                        barrier.abort()
+                        with lock:
+                            failures.append(f"{type(exc).__name__}: {exc}")
+                        return
+
+            threads = [threading.Thread(target=drive) for _ in range(clients)]
+            t_begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - t_begin
+            healthy = ServeClient(server.url).healthy()
+            stats = server.service.stats()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    ordered = sorted(latencies)
+    if ordered:
+        p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        mean = sum(ordered) / len(ordered)
+    else:  # every request failed: latency checks must fail loudly too
+        p99 = mean = float("inf")
+    return {
+        "requests_total": float(len(latencies) + len(failures)),
+        "requests_failed": float(len(failures)),
+        "cells_served": float(stats["cells"]["served"]),
+        "cells_recomputed": float(stats["cells"]["recomputed"]),
+        "dedup_hit_rate": float(stats["dedup_hit_rate"] or 0.0),
+        "p99_request_seconds": p99,
+        "mean_request_seconds": mean,
+        "requests_per_second": (len(latencies) / wall) if wall > 0 else 0.0,
+        "server_ok": 1.0 if healthy else 0.0,
+    }
+
+
+register(
+    GateSpec(
+        name="serve-throughput",
+        title="the sweep daemon dedups concurrent load and stays responsive",
+        ns="serve",
+        measure=_serve_measure,
+        default_repeats=1,
+        describe=lambda ctx: {
+            "workload": f"{ctx.opt_int('serve.clients', 4)} concurrent clients "
+            f"x {ctx.opt_int('serve.rounds', 3)} synchronized rounds of a "
+            "6-cell ideal-platform grid (hot round 0, perturbed eager "
+            "limits after)"
+        },
+        checks=(
+            GateCheck(
+                name="server-ok",
+                metric="server_ok",
+                op=">=",
+                threshold_option="serve.min_server_ok",
+                default_threshold=1.0,
+            ),
+            GateCheck(
+                name="request-failures",
+                metric="requests_failed",
+                op="<=",
+                threshold_option="serve.max_failed",
+                default_threshold=0.0,
+            ),
+            GateCheck(
+                name="dedup",
+                metric="dedup_hit_rate",
+                op=">=",
+                threshold_option="serve.min_dedup_rate",
+                default_threshold=0.5,
+            ),
+            GateCheck(
+                name="p99-latency",
+                metric="p99_request_seconds",
+                op="<=",
+                threshold_option="serve.max_p99_seconds",
+                default_threshold=2.0,
             ),
         ),
     )

@@ -1,0 +1,80 @@
+"""In-flight deduplication: one execution per digest, fan-out to all.
+
+When two concurrent jobs want the same cell digest, exactly one of them
+(the *owner*) executes it; every other job *joins* the owner's
+:class:`asyncio.Future` and receives the identical outcome when it
+resolves.  Cells are pure functions of their digests, so fan-out is
+semantically invisible — it only removes duplicate work.
+
+Claim/resolve run on the event-loop thread (no races there); the one
+cross-thread consumer is the result store's eviction pass, which calls
+:meth:`InFlightTable.snapshot` from whichever thread triggered the
+eviction to learn which digests must survive — that set is guarded by
+a lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+__all__ = ["InFlightTable"]
+
+
+class InFlightTable:
+    """digest -> in-flight :class:`asyncio.Future` of its outcome."""
+
+    def __init__(self) -> None:
+        self._futures: dict[str, asyncio.Future] = {}
+        self._lock = threading.Lock()
+        self._digests: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    # ------------------------------------------------------------------
+    def peek(self, digest: str) -> asyncio.Future | None:
+        """The digest's in-flight future, or ``None`` (loop thread)."""
+        return self._futures.get(digest)
+
+    def claim(self, digest: str, loop: asyncio.AbstractEventLoop) -> tuple[bool, asyncio.Future]:
+        """Claim ``digest`` or join its existing flight.
+
+        Returns ``(owner, future)``: the owner must eventually call
+        :meth:`resolve` or :meth:`fail`; joiners just await the future.
+        """
+        existing = self._futures.get(digest)
+        if existing is not None:
+            return False, existing
+        future = loop.create_future()
+        self._futures[digest] = future
+        with self._lock:
+            self._digests.add(digest)
+        return True, future
+
+    def _release(self, digest: str) -> asyncio.Future | None:
+        future = self._futures.pop(digest, None)
+        with self._lock:
+            self._digests.discard(digest)
+        return future
+
+    def resolve(self, digest: str, outcome) -> None:
+        """Deliver the outcome to every joiner and retire the flight."""
+        future = self._release(digest)
+        if future is not None and not future.done():
+            future.set_result(outcome)
+
+    def fail(self, digest: str, exc: BaseException) -> None:
+        """Propagate a failure to every joiner and retire the flight —
+        joiners re-classify (the store may have the cell by now, or they
+        claim and execute it themselves)."""
+        future = self._release(digest)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> frozenset[str]:
+        """Digests currently in flight — the store's ``protect``
+        callable, safe from any thread."""
+        with self._lock:
+            return frozenset(self._digests)

@@ -163,6 +163,8 @@ def test_corrupt_sidecar_reads_as_zero(tmp_path):
         "writes": 0,
         "bytes_read": 0,
         "bytes_written": 0,
+        "evictions": 0,
+        "migrations": 0,
     }
     # Negative / non-int values are ignored, not trusted.
     (tmp_path / "counters.json").write_text('{"hits": -3, "writes": "many"}')

@@ -1,0 +1,153 @@
+"""The serve subsystem's acceptance contract, end to end over HTTP:
+
+1. one daemon + three concurrent clients submitting the same sweep
+   execute each unique digest exactly once (dedup counters prove it)
+   and every client's result is bit-identical to a serial local run;
+2. a follow-up with a perturbed platform fingerprint re-prices only
+   the invalidated cells (``reused``/``recomputed`` asserted per job);
+3. the full 64-cell golden grid served over the wire reproduces
+   ``tests/core/golden_scheme_times.json`` hex for hex.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.core import PAPER_ORDER, TimingPolicy, strided_for_bytes
+from repro.core.runner import run_sweep
+from repro.core.sweep import SweepConfig
+from repro.exec import CellSpec
+from repro.machine import get_platform
+from repro.serve import ServeClient, ServerThread, decode_outcome, submit_sweep
+
+GOLDEN_FILE = Path(__file__).parent.parent / "core" / "golden_scheme_times.json"
+
+
+def shared_config() -> SweepConfig:
+    return SweepConfig(
+        sizes=(2048, 8192),
+        schemes=("copying", "reference", "vector"),
+        policy=TimingPolicy(iterations=2, flush=False),
+    )
+
+
+def test_three_clients_one_execution_per_digest_bit_identical(tmp_path):
+    config = shared_config()
+    unique_cells = len(config.sizes) * len(config.schemes)
+    results = [None] * 3
+    errors = []
+    barrier = threading.Barrier(len(results))
+
+    with ServerThread(store_root=tmp_path) as server:
+
+        def client(i: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                results[i] = submit_sweep(server.url, "ideal", config)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(len(results))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        jobs = [server.service.registry.get(f"job-{n:04d}") for n in (1, 2, 3)]
+        assert all(job is not None and job.status == "done" for job in jobs)
+        # Exactly one execution per unique digest, across all clients:
+        # the rest were store hits or joined in-flight executions.
+        assert sum(job.recomputed for job in jobs) == unique_cells
+        assert sum(job.reused + job.deduped for job in jobs) == 2 * unique_cells
+        stats = server.service.stats()
+        assert stats["cells"]["served"] == 3 * unique_cells
+        assert stats["cells"]["recomputed"] == unique_cells
+
+    # Bit-identity: every served result equals the serial local run.
+    local = run_sweep("ideal", config)
+    for served in results:
+        assert served.platform == local.platform
+        assert served.metadata == local.metadata
+        assert served.measurements == local.measurements
+
+
+def test_perturbed_fingerprint_reprices_only_invalidated_cells(tmp_path):
+    config = shared_config()
+    unique_cells = len(config.sizes) * len(config.schemes)
+    with ServerThread(store_root=tmp_path) as server:
+        submit_sweep(server.url, "ideal", config)  # warm the store
+        client = ServeClient(server.url, timeout=120.0)
+        followup = client.request_json(
+            "POST",
+            "/sweep?wait=1",
+            {
+                "platforms": [
+                    {"name": "ideal"},
+                    {"name": "ideal", "eager_limit": 9000},
+                ],
+                "sizes": list(config.sizes),
+                "schemes": list(config.schemes),
+                "policy": {"iterations": 2, "flush": False},
+            },
+        )
+        # The unchanged platform's cells were served from the store; the
+        # perturbed fingerprint invalidated exactly its own half.
+        assert followup["status"] == "done"
+        assert followup["total"] == 2 * unique_cells
+        assert followup["reused"] == unique_cells
+        assert followup["recomputed"] == unique_cells
+        assert followup["deduped"] == 0
+
+
+def test_served_grid_reproduces_the_64_golden_scheme_times(tmp_path):
+    """The wire protocol carries the exact golden grid: same layouts
+    (``strided_for_bytes``), same digests (the flat topology never
+    enters the fingerprint), same hex times."""
+    golden = json.loads(GOLDEN_FILE.read_text())
+    policy = TimingPolicy(iterations=3, flush=True)
+    grid = {}  # golden name -> spec
+    for pname in ("skx-impi", "skx-mvapich2", "ls5-cray", "knl-impi"):
+        platform = get_platform(pname)
+        for lname, size in (("small-2KB", 2048), ("mid-1MB", 1_000_000)):
+            for key in PAPER_ORDER:
+                grid[f"{pname}/{lname}/{key}"] = CellSpec(
+                    scheme=key,
+                    layout=strided_for_bytes(size),
+                    platform=platform,
+                    policy=policy,
+                    materialize=False,
+                )
+    assert len(grid) == len(golden) == 64
+
+    with ServerThread(store_root=tmp_path) as server:
+        client = ServeClient(server.url, timeout=600.0)
+        done = client.request_json(
+            "POST",
+            "/sweep?wait=1",
+            {
+                "platforms": ["skx-impi", "skx-mvapich2", "ls5-cray", "knl-impi"],
+                "sizes": [2048, 1_000_000],
+                "schemes": list(PAPER_ORDER),
+                "policy": {"iterations": 3, "flush": True},
+                "materialize_limit": 0,
+            },
+        )
+    assert done["status"] == "done" and done["total"] == 64
+
+    mismatches = []
+    for name, spec in grid.items():
+        wire = done["cells"][spec.digest]
+        cell = spec.to_result(decode_outcome(wire), cached=True)
+        got = {
+            "time": cell.time.hex(),
+            "virtual_time": cell.virtual_time.hex(),
+            "events": cell.events,
+        }
+        if got != golden[name]:
+            mismatches.append(name)
+    assert not mismatches, f"served cells diverge from golden: {mismatches}"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Load-generate against the sweep daemon and gate its throughput.
+
+Thin shim over the ``serve-throughput`` entry of the :mod:`repro.perf`
+gate registry (``repro perf gate --gate serve-throughput``), kept for
+the CLI flags and the ``BENCH_serve.json`` record it maintains.  The
+measurement body (an in-process :class:`~repro.serve.ServerThread`
+driven by N concurrent clients submitting colliding grids) lives in
+:mod:`repro.perf.workloads`.
+
+Usage::
+
+    python tools/bench_serve.py [--clients 4] [--rounds 3]
+                                [--min-dedup-rate 0.5] [--max-p99 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.perf import get_gate, run_gate  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default 4)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="synchronized request rounds per client; round "
+                             "0 is the shared hot grid, later rounds perturb "
+                             "the eager limit (default 3)")
+    parser.add_argument("--min-dedup-rate", type=float, default=0.5,
+                        help="required (reused+deduped)/served floor "
+                             "(default 0.5)")
+    parser.add_argument("--max-p99", type=float, default=2.0,
+                        help="p99 request-latency bound in seconds "
+                             "(default 2.0)")
+    parser.add_argument("--output", default=str(REPO / "BENCH_serve.json"),
+                        help="where to record the measurement")
+    args = parser.parse_args(argv)
+
+    options = {
+        "serve.clients": args.clients,
+        "serve.rounds": args.rounds,
+        "serve.min_dedup_rate": args.min_dedup_rate,
+        "serve.max_p99_seconds": args.max_p99,
+    }
+    result, _ = run_gate(get_gate("serve-throughput"), options)
+    print(result.render())
+    if result.error is not None:
+        return 1
+
+    m = result.metrics
+    record = {
+        "workload": result.extra.get("workload", ""),
+        "clients": args.clients,
+        "rounds": args.rounds,
+        "requests_total": int(m["requests_total"]),
+        "requests_failed": int(m["requests_failed"]),
+        "cells_served": int(m["cells_served"]),
+        "cells_recomputed": int(m["cells_recomputed"]),
+        "dedup_hit_rate": round(m["dedup_hit_rate"], 4),
+        "mean_request_ms": round(m["mean_request_seconds"] * 1e3, 2),
+        "p99_request_ms": round(m["p99_request_seconds"] * 1e3, 2),
+        "requests_per_second": round(m["requests_per_second"], 1),
+        "server_ok": m["server_ok"] >= 1.0,
+        "dedup_gate": {"checked": True, "min": args.min_dedup_rate},
+        "latency_gate": {"checked": True, "max_p99_seconds": args.max_p99},
+    }
+    Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
+
+    failures = result.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
